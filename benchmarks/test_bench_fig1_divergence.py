@@ -1,0 +1,19 @@
+"""Fig. 1 bench: branch divergence loss, measured by the SIMT emulator."""
+
+from repro.experiments import fig1_divergence
+
+
+def test_bench_fig1_divergence(benchmark):
+    res = benchmark.pedantic(
+        fig1_divergence.run,
+        kwargs=dict(n=1024, tc=128, bc=2, path_counts=(1, 2, 4, 8, 16, 32)),
+        rounds=1, iterations=1,
+    )
+    rows = res["rows"]
+    effs = [r["simd_efficiency"] for r in rows]
+    # the paper's Fig. 1 shape: efficiency collapses as paths multiply
+    assert effs == sorted(effs, reverse=True)
+    assert effs[-1] < 0.10  # 32-way divergence: near-total serialization
+    infl = [r["issue_inflation"] for r in rows]
+    assert infl[-1] > 20.0
+    print("\n" + fig1_divergence.render(res))

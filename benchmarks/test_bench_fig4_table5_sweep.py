@@ -1,0 +1,42 @@
+"""Fig. 4 + Table V bench: the exhaustive autotuning sweep, thread-count
+histograms per rank, and the rank statistics table.
+
+Reduced configuration: one architecture per run (Kepler), the
+256-variant structure-preserving space, three input sizes.  Use
+``repro-experiments --full fig4 table5`` for the paper-size sweep.
+"""
+
+import numpy as np
+
+from repro.experiments import fig4_thread_counts, table5_statistics
+
+
+def test_bench_fig4_thread_counts(benchmark):
+    res = benchmark.pedantic(
+        fig4_thread_counts.run,
+        kwargs=dict(archs=["kepler"], kernels=["atax", "matvec2d"]),
+        rounds=1, iterations=1,
+    )
+    panels = res["panels"]
+    # atax: good performers at the lower thread ranges (paper Fig. 4)
+    atax = panels[("atax", "K20")]
+    assert atax["rank1_median"] < atax["rank2_median"]
+    print("\n" + fig4_thread_counts.render(res))
+
+
+def test_bench_table5_statistics(benchmark):
+    res = benchmark.pedantic(
+        table5_statistics.run,
+        kwargs=dict(archs=["kepler"], kernels=["atax", "ex14fj"]),
+        rounds=1, iterations=1,
+    )
+    r1 = {r["kernel"]: r for r in res["rank1"]}
+    r2 = {r["kernel"]: r for r in res["rank2"]}
+    # Table V shape: occupancy means similar between ranks ("occupancy did
+    # not seem to matter much"), register instruction traffic much lower
+    # for rank 1, atax rank-1 thread quartiles below rank 2
+    assert abs(r1["atax"]["occ_mean"] - r2["atax"]["occ_mean"]) < 12.0
+    assert r1["atax"]["reg_mean"] < r2["atax"]["reg_mean"]
+    assert r1["atax"]["threads_p50"] < r2["atax"]["threads_p50"]
+    assert r1["ex14fj"]["threads_p50"] > 256
+    print("\n" + table5_statistics.render(res))

@@ -1,0 +1,17 @@
+"""Fig. 5 bench: Eq. 6 static execution-time prediction MAE."""
+
+from repro.experiments import fig5_time_model
+
+
+def test_bench_fig5_time_model(benchmark):
+    res = benchmark.pedantic(
+        fig5_time_model.run,
+        kwargs=dict(archs=["kepler"],
+                    kernels=["atax", "bicg", "matvec2d", "ex14fj"]),
+        rounds=1, iterations=1,
+    )
+    maes = {r["kernel"]: r["mae"] for r in res["rows"]}
+    # the normalized-profile MAE stays within a reasonable margin for all
+    # kernels (paper: "within a reasonable margin of error")
+    assert all(m <= 0.5 for m in maes.values()), maes
+    print("\n" + fig5_time_model.render(res))

@@ -1,0 +1,24 @@
+"""Fig. 6 bench: search-space improvement of the static (and rule-based)
+search module over exhaustive autotuning, with solution quality."""
+
+import pytest
+
+from repro.experiments import fig6_search_improvement
+
+
+def test_bench_fig6_search_improvement(benchmark):
+    res = benchmark.pedantic(
+        fig6_search_improvement.run,
+        kwargs=dict(archs=["kepler", "fermi"],
+                    kernels=["atax", "ex14fj"]),
+        rounds=1, iterations=1,
+    )
+    for row in res["rows"]:
+        # Kepler/Maxwell/Pascal: |T*|=4..5 of 32 -> ~84-87.5% improvement;
+        # the rule halves T* again -> ~93.8%
+        assert row["static_improvement"] >= 0.84
+        assert row["rb_improvement"] >= 0.93
+        # pruning must not cost much quality
+        assert row["static_quality"] <= 1.25
+        assert row["rb_quality"] <= 1.25
+    print("\n" + fig6_search_improvement.render(res))

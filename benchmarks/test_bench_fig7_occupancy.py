@@ -1,0 +1,19 @@
+"""Fig. 7 bench: the occupancy-calculator impact charts for atax."""
+
+from repro.experiments import fig7_occupancy_calc
+
+
+def test_bench_fig7_occupancy_calculator(benchmark):
+    res = benchmark.pedantic(
+        fig7_occupancy_calc.run,
+        kwargs=dict(kernel="atax", archs=("fermi", "kepler")),
+        rounds=1, iterations=1,
+    )
+    for gpu, p in res["panels"].items():
+        # the potential configuration must not lose occupancy anywhere the
+        # analyzer suggested a thread count
+        t_star = set(p["t_star"])
+        for t, cur, pot in zip(p["threads"], p["current"], p["potential"]):
+            if t in t_star:
+                assert pot >= p["occ_star"] - 1e-9
+    print("\n" + fig7_occupancy_calc.render(res))

@@ -1,0 +1,57 @@
+"""Benches for the data tables: Table I, Table II, Table III/Fig. 3,
+Table VI, Table VII."""
+
+from repro.experiments import (
+    fig3_spec,
+    table1_gpus,
+    table2_throughput,
+    table6_mix_errors,
+    table7_suggestions,
+)
+
+
+def test_bench_table1_gpus(benchmark):
+    res = benchmark(table1_gpus.run)
+    text = table1_gpus.render(res)
+    assert "K20" in text
+    print("\n" + text)
+
+
+def test_bench_table2_throughput(benchmark):
+    res = benchmark(table2_throughput.run)
+    text = table2_throughput.render(res)
+    assert "FPIns32" in text
+    print("\n" + text)
+
+
+def test_bench_fig3_table3_spec(benchmark):
+    res = benchmark(fig3_spec.run)
+    assert res["size"] == 5120
+    print("\n" + fig3_spec.render(res))
+
+
+def test_bench_table6_mix_errors(benchmark):
+    res = benchmark.pedantic(
+        table6_mix_errors.run,
+        kwargs=dict(archs=("fermi", "kepler", "maxwell")),
+        rounds=1, iterations=1,
+    )
+    text = table6_mix_errors.render(res)
+    # intensity straddles the 4.0 threshold in the paper's direction
+    by_kernel = {r["kernel"]: r["intensity"] for r in res["rows"]}
+    assert by_kernel["bicg"] < by_kernel["atax"] < 4.0
+    assert by_kernel["matvec2d"] > 4.0 and by_kernel["ex14fj"] > 4.0
+    print("\n" + text)
+
+
+def test_bench_table7_suggestions(benchmark):
+    res = benchmark.pedantic(table7_suggestions.run, rounds=1, iterations=1)
+    text = table7_suggestions.render(res)
+    # the paper's T* sets per architecture
+    kep = next(r for r in res["rows"]
+               if r["kernel"] == "atax" and r["arch"] == "Kep")
+    assert kep["threads"] == [128, 256, 512, 1024]
+    fer = next(r for r in res["rows"]
+               if r["kernel"] == "atax" and r["arch"] == "Fer")
+    assert fer["threads"] == [192, 256, 384, 512, 768]
+    print("\n" + text)

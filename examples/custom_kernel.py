@@ -1,0 +1,118 @@
+#!/usr/bin/env python
+"""Bring your own kernel: write, validate, analyze and tune a new kernel.
+
+The scenario a downstream user of this library actually has: a kernel that
+is *not* one of the paper's benchmarks.  Here: fused SAXPY + squared-norm
+partial reduction, ``y = a*x + y; norm_parts[...] += y^2`` over one grid-
+stride loop.
+
+Steps:
+1. write the kernel in the loop-nest DSL;
+2. emulate it against a NumPy reference (SIMT-exact, catches real bugs);
+3. statically analyze it (occupancy, intensity, T*);
+4. autotune it with the static search module.
+
+Run: python examples/custom_kernel.py
+"""
+
+import numpy as np
+
+from repro.arch import get_gpu
+from repro.autotune import Autotuner
+from repro.codegen import dsl
+from repro.codegen.compiler import CompileOptions, compile_module
+from repro.core import StaticAnalyzer
+from repro.kernels.base import Benchmark
+from repro.sim.emulator import run_benchmark_emulated
+from repro.util.rng import rng_for
+
+N_ = dsl.sparam("N")
+a_ = dsl.sparam("a", "f32")
+x_ = dsl.farray("x")
+y_ = dsl.farray("y")
+norm_ = dsl.farray("norm_parts")
+n = dsl.ivar("n")
+v = dsl.var("v", "f32")
+
+SAXPY_NORM = dsl.kernel(
+    "saxpy_norm",
+    params=[N_, a_, x_, y_, norm_],
+    body=[
+        dsl.pfor(n, N_, [
+            dsl.assign("v", a_ * x_[n] + y_[n]),
+            y_.store(n, v),
+            norm_.atomic_add(n % 64, v * v),
+        ]),
+    ],
+)
+
+
+def make_inputs(size: int, rng: np.random.Generator) -> dict:
+    return {
+        "N": size,
+        "a": np.float32(1.5),
+        "x": rng.standard_normal(size).astype(np.float32),
+        "y": rng.standard_normal(size).astype(np.float32),
+        "norm_parts": np.zeros(64, dtype=np.float32),
+    }
+
+
+def reference(inputs: dict) -> dict:
+    xv = inputs["x"].astype(np.float64)
+    yv = inputs["y"].astype(np.float64)
+    out = 1.5 * xv + yv
+    parts = np.zeros(64)
+    np.add.at(parts, np.arange(len(out)) % 64, out**2)
+    return {
+        "y": out.astype(np.float32),
+        "norm_parts": parts.astype(np.float32),
+    }
+
+
+BENCH = Benchmark(
+    name="saxpy_norm",
+    description="fused saxpy + squared-norm partials",
+    specs=(SAXPY_NORM,),
+    make_inputs=make_inputs,
+    reference=reference,
+    sizes=(1024, 4096, 16384, 65536, 262144),
+    param_env=lambda size: {"N": size},
+    output_names=("y", "norm_parts"),
+)
+
+
+def main() -> None:
+    gpu = get_gpu("maxwell")
+
+    # ---- validate by SIMT emulation against the NumPy reference ---------
+    inputs = make_inputs(512, rng_for("example", "saxpy"))
+    module = compile_module("saxpy_norm", [SAXPY_NORM],
+                            CompileOptions(gpu=gpu))
+    outs, emu = run_benchmark_emulated(module, inputs, tc=64, bc=4)
+    ref = reference(inputs)
+    for name in BENCH.output_names:
+        np.testing.assert_allclose(outs[name], ref[name],
+                                   rtol=2e-3, atol=2e-4)
+    print(f"emulation matches the NumPy reference "
+          f"(SIMD efficiency {emu.simd_efficiency:.3f})")
+    print(f"disassembly is {len(module.kernels[0].ir)} instructions; "
+          f"{module.regs_per_thread} registers/thread\n")
+
+    # ---- static analysis -------------------------------------------------
+    report = StaticAnalyzer(gpu).analyze(
+        [SAXPY_NORM], BENCH.param_env(65536), name="saxpy_norm"
+    )
+    print(report.summary())
+
+    # ---- autotune with the model-pruned search ---------------------------
+    tuner = Autotuner(BENCH, gpu)
+    out = tuner.tune(size=65536, search="static", use_rule=True)
+    print(
+        f"\ntuned: best {out.best_seconds * 1e6:.1f} us at "
+        f"{out.best_config} using {out.search.evaluations} measurements "
+        f"({out.search.space_reduction:.1%} space reduction)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,41 @@
+#!/usr/bin/env python
+"""Occupancy explorer: the paper's Eqs. 1-5 across all four GPUs.
+
+Shows, for a register/shared-memory budget you pick on the command line,
+which resource limits occupancy at every block size and which block sizes
+reach the attainable maximum (the analyzer's T*) -- the interactive
+equivalent of the paper's Fig. 7 calculator panels.
+
+Run: python examples/occupancy_explorer.py [regs_per_thread] [smem_bytes]
+"""
+
+import sys
+
+from repro.arch import ALL_GPUS
+from repro.core.occupancy import occupancy_curve
+from repro.core.suggest import suggest_parameters
+from repro.util.tables import ascii_bar_chart
+
+
+def main(regs: int = 32, smem: int = 0) -> None:
+    print(f"occupancy for a kernel using {regs} registers/thread, "
+          f"{smem} B shared memory per block\n")
+    for gpu in ALL_GPUS:
+        curve = occupancy_curve(gpu, regs_u=regs, smem_u=smem)
+        s = suggest_parameters(gpu, regs, smem)
+        sel = [r for r in curve if r.threads_u % 128 == 0]
+        print(f"=== {gpu.short()} ===")
+        print(ascii_bar_chart(
+            [f"T={r.threads_u:4d} [{r.limiter[:4]}]" for r in sel],
+            [r.occupancy for r in sel],
+            max_value=1.0, width=40, fmt="{:.2f}",
+        ))
+        print(f"T* = {list(s.threads)}   occ* = {s.best_occupancy:g}   "
+              f"register headroom R* = {s.reg_increase}   "
+              f"smem headroom S* = {s.smem_headroom} B\n")
+
+
+if __name__ == "__main__":
+    r = int(sys.argv[1]) if len(sys.argv) > 1 else 32
+    m = int(sys.argv[2]) if len(sys.argv) > 2 else 0
+    main(r, m)

@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Quickstart: statically analyze and autotune a CUDA-style kernel.
+
+Walks the paper's whole pipeline in one script:
+
+1. take a benchmark kernel (atax: y = A^T(Ax));
+2. compile it for a target GPU (no execution anywhere);
+3. run the static analyzer: occupancy, instruction mix, intensity,
+   suggested thread counts T* and the rule-based pruning;
+4. hand the suggestion to the autotuner's *static search module* and
+   compare it against full exhaustive autotuning.
+
+Run: python examples/quickstart.py
+"""
+
+from repro.arch import get_gpu
+from repro.autotune import Autotuner
+from repro.core import StaticAnalyzer
+from repro.kernels import get_benchmark
+
+SIZE = 256
+
+
+def main() -> None:
+    gpu = get_gpu("kepler")
+    benchmark = get_benchmark("atax")
+
+    # ---- 1+2+3: purely static analysis (zero kernel runs) --------------
+    analyzer = StaticAnalyzer(gpu)
+    report = analyzer.analyze(
+        list(benchmark.specs), benchmark.param_env(SIZE), name="atax"
+    )
+    print(report.summary())
+    print()
+    print("Compile log (the ptxas -v equivalent):")
+    print(report.compile_log)
+    print()
+
+    # ---- 4: autotune, exhaustive vs static-model-pruned -----------------
+    tuner = Autotuner(benchmark, gpu)
+
+    exhaustive = tuner.tune(size=SIZE, search="exhaustive")
+    print(
+        f"exhaustive : best {exhaustive.best_seconds * 1e6:8.1f} us  "
+        f"config {exhaustive.best_config}  "
+        f"({exhaustive.search.evaluations} measurements)"
+    )
+
+    static = tuner.tune(size=SIZE, search="static")
+    print(
+        f"static     : best {static.best_seconds * 1e6:8.1f} us  "
+        f"config {static.best_config}  "
+        f"({static.search.evaluations} measurements, "
+        f"{static.search.space_reduction:.1%} of the space removed)"
+    )
+
+    rb = tuner.tune(size=SIZE, search="static", use_rule=True)
+    print(
+        f"static+rule: best {rb.best_seconds * 1e6:8.1f} us  "
+        f"config {rb.best_config}  "
+        f"({rb.search.evaluations} measurements, "
+        f"{rb.search.space_reduction:.1%} of the space removed)"
+    )
+
+    loss = rb.best_seconds / exhaustive.best_seconds - 1.0
+    print(
+        f"\nThe model-pruned search used "
+        f"{rb.search.evaluations / exhaustive.search.evaluations:.1%} of the "
+        f"measurements and found a variant within {loss:+.1%} of the "
+        f"exhaustive optimum."
+    )
+
+
+if __name__ == "__main__":
+    main()

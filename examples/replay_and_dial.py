@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Knowledge-discovery loop: record, replay, and dial (paper Sec. VII).
+
+1. Record a static-search tuning session (every decision and variant).
+2. Replay: empirically measure the region the static model pruned away
+   and compute the pruning regret -- did T* contain the optimum?
+3. Dial: sweep the static <-> empirical spectrum and watch cost vs
+   quality trade off.
+
+Run: python examples/replay_and_dial.py
+"""
+
+from repro.arch import get_gpu
+from repro.autotune.replay import (
+    Dial,
+    SessionRecorder,
+    replay_with_empirical_testing,
+    tune_with_dial,
+)
+from repro.autotune.space import Parameter, ParameterSpace
+from repro.kernels import get_benchmark
+from repro.util.tables import ascii_table
+
+
+def main() -> None:
+    gpu = get_gpu("kepler")
+    benchmark = get_benchmark("bicg")
+    space = ParameterSpace([
+        Parameter("TC", tuple(range(32, 1025, 32))),
+        Parameter("BC", (48, 144)),
+        Parameter("UIF", (1, 3)),
+        Parameter("PL", (16,)),
+        Parameter("CFLAGS", ("", "-use_fast_math")),
+    ])
+    size = 256
+
+    # ---- record ---------------------------------------------------------
+    record = SessionRecorder(benchmark, gpu, space=space).run(
+        size=size, use_rule=True
+    )
+    print(f"recorded session: {len(record.variants)} variants measured, "
+          f"best {record.best_seconds * 1e6:.1f} us at {record.best_config}")
+    print(f"  static decisions: T*={record.suggested_threads}, "
+          f"rule -> {record.rule_threads} "
+          f"(intensity {record.intensity:.2f})")
+
+    # ---- replay with empirical testing -----------------------------------
+    report = replay_with_empirical_testing(record, benchmark, gpu)
+    print("\n" + report.summary())
+
+    # ---- dial in the degree of empirical testing -------------------------
+    rows = []
+    for frac in (0.0, 0.25, 0.5, 1.0):
+        out = tune_with_dial(benchmark, gpu, size, Dial(frac), space=space)
+        rows.append([
+            f"{frac:.2f}",
+            out.search.evaluations,
+            f"{out.best_seconds * 1e6:.1f}",
+            f"{out.best_seconds / report.global_best:.3f}",
+        ])
+    print("\n" + ascii_table(
+        ["Empirical fraction", "Measurements", "Best (us)", "vs global opt"],
+        rows,
+        title="Dialing empirical testing back in (0.0 = trust the model)",
+        align_right=False,
+    ))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+"""GPU architecture descriptions.
+
+This subpackage is the hardware substrate for the reproduction: complete
+descriptors of the four GPUs the paper evaluates on (Table I) and the
+per-architecture instruction throughput tables (Table II) that drive both the
+static instruction-mix weighting and the timing simulator.
+
+The naming convention follows the paper: superscript ``cc`` denotes a value
+fixed by the compute capability (e.g. ``T_cc_B`` = max threads per block),
+``u`` denotes user input, ``*`` denotes values produced by the analyzer.
+"""
+
+from repro.arch.specs import (
+    GPUSpec,
+    M2050,
+    K20,
+    M40,
+    P100,
+    ALL_GPUS,
+    GPUS_BY_NAME,
+    GPUS_BY_FAMILY,
+    get_gpu,
+)
+from repro.arch.throughput import (
+    ThroughputTable,
+    InstrCategory,
+    PipeClass,
+    THROUGHPUT_BY_SM,
+    ipc,
+    cpi,
+    throughput_for,
+)
+
+__all__ = [
+    "GPUSpec",
+    "M2050",
+    "K20",
+    "M40",
+    "P100",
+    "ALL_GPUS",
+    "GPUS_BY_NAME",
+    "GPUS_BY_FAMILY",
+    "get_gpu",
+    "ThroughputTable",
+    "InstrCategory",
+    "PipeClass",
+    "THROUGHPUT_BY_SM",
+    "ipc",
+    "cpi",
+    "throughput_for",
+]

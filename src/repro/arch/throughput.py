@@ -1,0 +1,160 @@
+"""Instruction throughput per architecture (paper Table II).
+
+Table II of the paper gives, for each instruction *category* and each SM
+version, the number of operations one SM can process per cycle (IPC).  The
+paper weights instruction mixes by the reciprocal, cycles-per-instruction
+(CPI): "an operation with a high throughput would cost less to issue than an
+operation with a lower instruction throughput."
+
+Categories also map onto a coarse *pipeline class* (FLOPS / MEM / CTRL /
+REG), which is the granularity of the paper's Eq. 6 predictive model and of
+the pipeline-utilization metric.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from types import MappingProxyType
+
+
+class PipeClass(enum.Enum):
+    """Coarse pipeline class used by the Eq. 6 model and Table VI."""
+
+    FLOPS = "FLOPS"
+    MEM = "MEM"
+    CTRL = "CTRL"
+    REG = "REG"
+
+
+class InstrCategory(enum.Enum):
+    """Instruction categories of the paper's Table II (rows)."""
+
+    FP32 = "FPIns32"
+    FP64 = "FPIns64"
+    COMP_MINMAX = "CompMinMax"
+    SHIFT = "Shift/Extract/Shuffle/SumAbsDiff"
+    CONV64 = "Conv64"
+    CONV32 = "Conv32"
+    LOG_SIN_COS = "LogSinCos"
+    INT_ADD32 = "IntAdd32"
+    LDST = "TexIns/LdStIns/SurfIns"
+    PRED_CTRL = "PredIns/CtrlIns"
+    MOVE = "MoveIns"
+    REGS = "Regs"
+
+    @property
+    def pipe(self) -> PipeClass:
+        return _CATEGORY_PIPE[self]
+
+
+_CATEGORY_PIPE: dict[InstrCategory, PipeClass] = {
+    InstrCategory.FP32: PipeClass.FLOPS,
+    InstrCategory.FP64: PipeClass.FLOPS,
+    InstrCategory.COMP_MINMAX: PipeClass.FLOPS,
+    InstrCategory.SHIFT: PipeClass.FLOPS,
+    InstrCategory.CONV64: PipeClass.FLOPS,
+    InstrCategory.CONV32: PipeClass.FLOPS,
+    InstrCategory.LOG_SIN_COS: PipeClass.FLOPS,
+    InstrCategory.INT_ADD32: PipeClass.FLOPS,
+    InstrCategory.LDST: PipeClass.MEM,
+    InstrCategory.PRED_CTRL: PipeClass.CTRL,
+    InstrCategory.MOVE: PipeClass.CTRL,
+    InstrCategory.REGS: PipeClass.REG,
+}
+
+# Table II, transcribed column-by-column: IPC per SM for SM20/SM35/SM52/SM60.
+_TABLE_II: dict[InstrCategory, tuple[int, int, int, int]] = {
+    InstrCategory.FP32: (32, 192, 128, 64),
+    InstrCategory.FP64: (16, 64, 4, 32),
+    InstrCategory.COMP_MINMAX: (32, 160, 64, 32),
+    InstrCategory.SHIFT: (16, 32, 64, 32),
+    InstrCategory.CONV64: (16, 8, 4, 16),
+    InstrCategory.CONV32: (16, 128, 32, 16),
+    InstrCategory.LOG_SIN_COS: (4, 32, 32, 16),
+    InstrCategory.INT_ADD32: (32, 160, 64, 32),
+    InstrCategory.LDST: (16, 32, 64, 16),
+    InstrCategory.PRED_CTRL: (16, 32, 64, 16),
+    InstrCategory.MOVE: (32, 32, 32, 32),
+    InstrCategory.REGS: (16, 32, 32, 16),
+}
+
+_SM_COLUMN = {20: 0, 35: 1, 52: 2, 60: 3}
+
+
+@dataclass(frozen=True)
+class ThroughputTable:
+    """Per-architecture instruction throughputs.
+
+    Wraps one column of Table II and exposes both IPC (operations per cycle
+    per SM) and CPI (the weight the paper assigns to each instruction when
+    forming weighted mixes; the reciprocal of IPC).
+    """
+
+    sm_version: int
+    ipc_by_category: MappingProxyType
+
+    @staticmethod
+    def for_sm(sm_version: int) -> "ThroughputTable":
+        if sm_version not in _SM_COLUMN:
+            raise KeyError(
+                f"no throughput data for sm_{sm_version}; "
+                f"available: {sorted(_SM_COLUMN)}"
+            )
+        col = _SM_COLUMN[sm_version]
+        return ThroughputTable(
+            sm_version=sm_version,
+            ipc_by_category=MappingProxyType(
+                {cat: vals[col] for cat, vals in _TABLE_II.items()}
+            ),
+        )
+
+    def ipc(self, category: InstrCategory) -> int:
+        """Operations per cycle per SM for ``category``."""
+        return self.ipc_by_category[category]
+
+    def cpi(self, category: InstrCategory) -> float:
+        """Cycles per instruction: the paper's weight for ``category``."""
+        return 1.0 / self.ipc_by_category[category]
+
+    def pipe_cpi(self, pipe: PipeClass) -> float:
+        """Representative CPI for a whole pipeline class.
+
+        Eq. 6 uses one coefficient per class (c_f, c_m, c_b, c_r).  We take
+        the harmonic-mean-consistent choice: the CPI of the class's dominant
+        category (FP32 for FLOPS, LDST for MEM, PRED_CTRL for CTRL, REGS for
+        REG), which matches how the paper reads Table II.
+        """
+        rep = {
+            PipeClass.FLOPS: InstrCategory.FP32,
+            PipeClass.MEM: InstrCategory.LDST,
+            PipeClass.CTRL: InstrCategory.PRED_CTRL,
+            PipeClass.REG: InstrCategory.REGS,
+        }[pipe]
+        return self.cpi(rep)
+
+    def as_rows(self) -> list[tuple[str, int]]:
+        """(category label, IPC) rows in Table II order, for rendering."""
+        return [(cat.value, self.ipc(cat)) for cat in InstrCategory]
+
+
+THROUGHPUT_BY_SM: dict[int, ThroughputTable] = {
+    sm: ThroughputTable.for_sm(sm) for sm in _SM_COLUMN
+}
+"""Prebuilt throughput tables for the four SM versions of the paper."""
+
+
+def throughput_for(spec_or_sm) -> ThroughputTable:
+    """Return the :class:`ThroughputTable` for a GPUSpec or SM version int."""
+    sm = getattr(spec_or_sm, "sm_version", spec_or_sm)
+    return THROUGHPUT_BY_SM[int(sm)]
+
+
+def ipc(spec_or_sm, category: InstrCategory) -> int:
+    """Convenience: IPC of ``category`` on the given arch."""
+    return throughput_for(spec_or_sm).ipc(category)
+
+
+def cpi(spec_or_sm, category: InstrCategory) -> float:
+    """Convenience: CPI (the mix weight) of ``category`` on the given arch."""
+    return throughput_for(spec_or_sm).cpi(category)

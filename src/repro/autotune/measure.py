@@ -1,0 +1,125 @@
+"""Variant generation and measurement.
+
+``Measurer`` turns a tuning configuration (one point of the Table III
+space) into a compiled code variant -- recompiling only when compile-time
+parameters (``UIF``, ``CFLAGS``, ``PL``) change -- and measures it on the
+simulated GPU with the paper's protocol (ten repetitions, fifth trial).
+Static metrics for the variant (occupancy, register usage, dynamic
+register-instruction counts) are recorded alongside the time, which is
+what the Table V statistics are built from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.specs import GPUSpec
+from repro.codegen.compiler import CompiledModule, CompileOptions, compile_module
+from repro.kernels.base import Benchmark
+from repro.sim.counting import exact_counts
+from repro.sim.occupancy_hw import hw_occupancy
+from repro.sim.timing import (
+    DEFAULT_PARAMS,
+    LaunchConfig,
+    ModelParams,
+    TimingModel,
+    measure_benchmark,
+)
+
+
+@dataclass(frozen=True)
+class VariantMeasurement:
+    """One measured code variant."""
+
+    config: dict
+    size: int
+    seconds: float
+    occupancy: float
+    regs_per_thread: int
+    reg_instructions: float
+    """Dynamic register-operand traffic (the Table V 'Register
+    Instructions' statistic)."""
+
+    @property
+    def launchable(self) -> bool:
+        return self.seconds != float("inf")
+
+
+class Measurer:
+    """Compiles and measures variants of one benchmark on one GPU."""
+
+    def __init__(
+        self,
+        benchmark: Benchmark,
+        gpu: GPUSpec,
+        params: ModelParams = DEFAULT_PARAMS,
+        repetitions: int = 10,
+        trial_index: int = 4,
+    ):
+        self.benchmark = benchmark
+        self.gpu = gpu
+        self.params = params
+        self.repetitions = repetitions
+        self.trial_index = trial_index
+        self._modules: dict[tuple, CompiledModule] = {}
+        self.evaluations = 0
+
+    def module_for(self, config: dict) -> CompiledModule:
+        """The compiled module for a configuration (cached by the
+        compile-time slice of the configuration)."""
+        key = (
+            int(config.get("UIF", 1)),
+            str(config.get("CFLAGS", "")),
+            int(config.get("PL", 16)),
+        )
+        mod = self._modules.get(key)
+        if mod is None:
+            options = CompileOptions(
+                gpu=self.gpu,
+                unroll_factor=key[0],
+                fast_math="-use_fast_math" in key[1],
+                l1_pref_kb=key[2],
+            )
+            mod = compile_module(
+                self.benchmark.name, list(self.benchmark.specs), options
+            )
+            self._modules[key] = mod
+        return mod
+
+    def measure(self, config: dict, size: int) -> VariantMeasurement:
+        """Measure one variant at one input size."""
+        self.evaluations += 1
+        mod = self.module_for(config)
+        env = self.benchmark.param_env(size)
+        tc = int(config["TC"])
+        bc = int(config["BC"])
+        launch = LaunchConfig(tc, bc)
+
+        seconds = measure_benchmark(
+            mod, launch, env,
+            repetitions=self.repetitions,
+            trial_index=self.trial_index,
+            params=self.params,
+        )
+        occ = hw_occupancy(
+            self.gpu, tc, mod.regs_per_thread, mod.static_smem_bytes
+        )
+        reg_instr = sum(
+            exact_counts(ck, env, tc, bc).reg_ops for ck in mod
+        )
+        return VariantMeasurement(
+            config=dict(config),
+            size=size,
+            seconds=seconds,
+            occupancy=occ,
+            regs_per_thread=mod.regs_per_thread,
+            reg_instructions=reg_instr,
+        )
+
+    def objective(self, size: int):
+        """A callable ``config -> seconds`` for the search strategies."""
+
+        def f(config: dict) -> float:
+            return self.measure(config, size).seconds
+
+        return f

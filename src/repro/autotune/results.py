@@ -1,0 +1,107 @@
+"""Result collection and the paper's rank split.
+
+"The execution times were sorted in ascending order and the ranks were
+split along the 50th percentile.  Rank 1 represents the upper-half of the
+50th percentile (good performers), while Rank 2 represents the lower
+portion (poor performers)."  (Paper Sec. IV-A.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.autotune.measure import VariantMeasurement
+from repro.util.stats import describe
+
+
+@dataclass(frozen=True)
+class RankedVariant:
+    measurement: VariantMeasurement
+    rank: int
+    """1 = good performer (faster half), 2 = poor performer."""
+
+
+def rank_split(measurements) -> list[RankedVariant]:
+    """Sort by time ascending and split at the 50th percentile.
+
+    Ranking happens *within each input size* (comparing a 32-point run
+    against a 512-point run by absolute time would put every small-size
+    variant in Rank 1 regardless of its configuration); the per-size rank
+    labels are then pooled, which is how the paper's Fig. 4 histograms
+    aggregate the five input sizes.
+
+    Unlaunchable variants (infinite time) are excluded from ranking, as a
+    failed launch is excluded from a real sweep.
+    """
+    by_size: dict = {}
+    for m in measurements:
+        if m.launchable:
+            by_size.setdefault(m.size, []).append(m)
+    out = []
+    for size in sorted(by_size):
+        ordered = sorted(by_size[size], key=lambda m: m.seconds)
+        half = len(ordered) // 2
+        for i, m in enumerate(ordered):
+            out.append(RankedVariant(m, 1 if i < half else 2))
+    return out
+
+
+@dataclass
+class TuningResults:
+    """All measurements of one sweep plus derived statistics."""
+
+    benchmark: str
+    gpu_name: str
+    measurements: list = field(default_factory=list)
+
+    def add(self, m: VariantMeasurement) -> None:
+        self.measurements.append(m)
+
+    def ranked(self) -> list[RankedVariant]:
+        return rank_split(self.measurements)
+
+    def best(self) -> VariantMeasurement:
+        valid = [m for m in self.measurements if m.launchable]
+        if not valid:
+            raise ValueError("no launchable variants measured")
+        return min(valid, key=lambda m: m.seconds)
+
+    def rank_statistics(self, rank: int) -> dict:
+        """The Table V statistics bundle for one rank group.
+
+        Returns ``occupancy`` (mean/std/mode as percentages),
+        ``reg_instructions`` (mean/std), ``regs_allocated`` and the thread
+        count quartiles.
+        """
+        group = [rv.measurement for rv in self.ranked() if rv.rank == rank]
+        if not group:
+            raise ValueError(f"rank {rank} group is empty")
+        occ = describe([m.occupancy * 100.0 for m in group])
+        reg = describe([m.reg_instructions for m in group])
+        threads = describe([float(m.config["TC"]) for m in group])
+        return {
+            "count": len(group),
+            "occ_mean": occ["mean"],
+            "occ_std": occ["std"],
+            "occ_mode": occ["mode"],
+            "reg_mean": reg["mean"],
+            "reg_std": reg["std"],
+            "regs_allocated": max(m.regs_per_thread for m in group),
+            "threads_p25": threads["p25"],
+            "threads_p50": threads["p50"],
+            "threads_p75": threads["p75"],
+        }
+
+    def thread_histogram(self, rank: int, bins=None):
+        """Thread-count histogram for one rank group (Fig. 4)."""
+        import numpy as np
+
+        if bins is None:
+            bins = np.arange(0, 1057, 64)
+        vals = [
+            float(rv.measurement.config["TC"])
+            for rv in self.ranked()
+            if rv.rank == rank
+        ]
+        counts, edges = np.histogram(np.asarray(vals), bins=bins)
+        return counts, edges

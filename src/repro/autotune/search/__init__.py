@@ -1,0 +1,51 @@
+"""Search strategies over tuning spaces.
+
+The paper (Sec. III-C): "Current search algorithms in Orio include
+exhaustive, random, simulated annealing, genetic, and Nelder-Mead simplex
+methods.  Adding this tool as a new search module in Orio demonstrates that
+our approach can easily be integrated into a general autotuning
+framework."  :class:`StaticSearch` is that new module: it prunes the
+thread axis to the analyzer's ``T*`` (optionally further halved by the
+intensity rule) and runs any inner strategy on the reduced space.
+"""
+
+from repro.autotune.search.base import Search, SearchResult
+from repro.autotune.search.exhaustive import ExhaustiveSearch
+from repro.autotune.search.random_search import RandomSearch
+from repro.autotune.search.annealing import SimulatedAnnealingSearch
+from repro.autotune.search.genetic import GeneticSearch
+from repro.autotune.search.simplex import NelderMeadSearch
+from repro.autotune.search.static_search import StaticSearch
+
+SEARCH_REGISTRY = {
+    "exhaustive": ExhaustiveSearch,
+    "random": RandomSearch,
+    "annealing": SimulatedAnnealingSearch,
+    "genetic": GeneticSearch,
+    "simplex": NelderMeadSearch,
+    "static": StaticSearch,
+}
+
+
+def get_search(name: str, **kwargs) -> Search:
+    """Instantiate a search strategy by registry name."""
+    key = name.strip().lower()
+    if key not in SEARCH_REGISTRY:
+        raise KeyError(
+            f"unknown search {name!r}; available: {sorted(SEARCH_REGISTRY)}"
+        )
+    return SEARCH_REGISTRY[key](**kwargs)
+
+
+__all__ = [
+    "Search",
+    "SearchResult",
+    "ExhaustiveSearch",
+    "RandomSearch",
+    "SimulatedAnnealingSearch",
+    "GeneticSearch",
+    "NelderMeadSearch",
+    "StaticSearch",
+    "SEARCH_REGISTRY",
+    "get_search",
+]

@@ -1,0 +1,75 @@
+"""Simulated annealing over the parameter lattice.
+
+Moves perturb one coordinate by a geometric step; acceptance follows the
+Metropolis criterion with a geometric cooling schedule.  Infinite
+objective values (unlaunchable variants) are always rejected.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.autotune.search.base import Objective, Search, SearchResult
+from repro.autotune.space import ParameterSpace
+from repro.util.rng import rng_for
+
+
+class SimulatedAnnealingSearch(Search):
+    name = "annealing"
+
+    def __init__(
+        self,
+        budget: int = 200,
+        t_initial: float = 1.0,
+        t_final: float = 1e-3,
+        seed: int | None = None,
+    ):
+        if budget <= 1:
+            raise ValueError("budget must exceed 1")
+        if not (0 < t_final < t_initial):
+            raise ValueError("need 0 < t_final < t_initial")
+        self.budget = budget
+        self.t_initial = t_initial
+        self.t_final = t_final
+        self.seed = seed
+
+    def search(self, space: ParameterSpace, objective: Objective,
+               budget: int | None = None) -> SearchResult:
+        n = budget if budget is not None else self.budget
+        rng = rng_for("search", "annealing", self.seed)
+        history: list = []
+
+        coords = space.coords_of(space.random_config(rng))
+        current = space.config_at(coords)
+        cur_val = objective(current)
+        self._track(history, current, cur_val)
+        best_config, best_value = current, cur_val
+
+        cooling = (self.t_final / self.t_initial) ** (1.0 / max(n - 1, 1))
+        temp = self.t_initial
+        dims = len(space.parameters)
+
+        while len(history) < n:
+            d = int(rng.integers(dims))
+            step = int(rng.choice([-3, -2, -1, 1, 2, 3]))
+            cand_coords = list(coords)
+            cand_coords[d] += step
+            cand_coords = space.clip(cand_coords)
+            cand = space.config_at(cand_coords)
+            val = objective(cand)
+            self._track(history, cand, val)
+            if val < best_value:
+                best_config, best_value = cand, val
+            accept = False
+            if math.isfinite(val):
+                if val <= cur_val or not math.isfinite(cur_val):
+                    accept = True
+                else:
+                    scale = max(abs(cur_val), 1e-30)
+                    prob = math.exp(-(val - cur_val) / (temp * scale))
+                    accept = rng.random() < prob
+            if accept:
+                coords, current, cur_val = tuple(cand_coords), cand, val
+            temp = max(temp * cooling, self.t_final)
+
+        return self._result(space, best_config, best_value, history)

@@ -1,0 +1,63 @@
+"""Search strategy interface."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.autotune.space import ParameterSpace
+
+Objective = Callable[[dict], float]
+
+
+@dataclass
+class SearchResult:
+    """Outcome of one search run."""
+
+    best_config: dict
+    best_value: float
+    evaluations: int
+    space_size: int
+    """Size of the space the strategy actually searched (after any
+    model-based pruning) -- the quantity Fig. 6 compares."""
+
+    full_space_size: int
+    """Size of the original, unpruned space."""
+
+    history: list = field(default_factory=list)
+    """(config, value) pairs in evaluation order."""
+
+    @property
+    def space_reduction(self) -> float:
+        """Fractional search-space reduction (the Fig. 6 'improvement')."""
+        if self.full_space_size == 0:
+            return 0.0
+        return 1.0 - self.space_size / self.full_space_size
+
+
+class Search:
+    """Base class: minimize ``objective`` over a finite space."""
+
+    name = "base"
+
+    def search(self, space: ParameterSpace, objective: Objective,
+               budget: int | None = None) -> SearchResult:
+        raise NotImplementedError
+
+    # -- shared helpers ------------------------------------------------------
+
+    @staticmethod
+    def _track(history, config, value):
+        history.append((dict(config), value))
+
+    @staticmethod
+    def _result(space, best_config, best_value, history,
+                full_size=None) -> SearchResult:
+        return SearchResult(
+            best_config=dict(best_config),
+            best_value=best_value,
+            evaluations=len(history),
+            space_size=len(space),
+            full_space_size=full_size if full_size is not None else len(space),
+            history=history,
+        )

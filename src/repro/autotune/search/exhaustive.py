@@ -1,0 +1,32 @@
+"""Exhaustive search: evaluate every configuration.
+
+Guaranteed to find the optimum; its cost (|space| empirical measurements)
+is the baseline every other strategy -- and the paper's static pruning --
+is compared against.
+"""
+
+from __future__ import annotations
+
+from repro.autotune.search.base import Objective, Search, SearchResult
+from repro.autotune.space import ParameterSpace
+
+
+class ExhaustiveSearch(Search):
+    name = "exhaustive"
+
+    def search(self, space: ParameterSpace, objective: Objective,
+               budget: int | None = None) -> SearchResult:
+        best_config = None
+        best_value = float("inf")
+        history: list = []
+        for config in space:
+            if budget is not None and len(history) >= budget:
+                break
+            value = objective(config)
+            self._track(history, config, value)
+            if value < best_value:
+                best_value = value
+                best_config = config
+        if best_config is None:
+            raise ValueError("no configuration evaluated")
+        return self._result(space, best_config, best_value, history)

@@ -1,0 +1,78 @@
+"""Genetic search: tournament selection, uniform crossover, lattice
+mutation, elitism."""
+
+from __future__ import annotations
+
+from repro.autotune.search.base import Objective, Search, SearchResult
+from repro.autotune.space import ParameterSpace
+from repro.util.rng import rng_for
+
+
+class GeneticSearch(Search):
+    name = "genetic"
+
+    def __init__(
+        self,
+        population: int = 24,
+        generations: int = 10,
+        mutation_rate: float = 0.15,
+        elite: int = 2,
+        seed: int | None = None,
+    ):
+        if population < 4:
+            raise ValueError("population must be >= 4")
+        if not (0.0 <= mutation_rate <= 1.0):
+            raise ValueError("mutation_rate must be in [0,1]")
+        if elite >= population:
+            raise ValueError("elite must be smaller than population")
+        self.population = population
+        self.generations = generations
+        self.mutation_rate = mutation_rate
+        self.elite = elite
+        self.seed = seed
+
+    def search(self, space: ParameterSpace, objective: Objective,
+               budget: int | None = None) -> SearchResult:
+        rng = rng_for("search", "genetic", self.seed)
+        history: list = []
+        cache: dict = {}
+
+        def fitness(config: dict) -> float:
+            key = tuple(sorted(config.items()))
+            if key not in cache:
+                if budget is not None and len(history) >= budget:
+                    return float("inf")
+                val = objective(config)
+                self._track(history, config, val)
+                cache[key] = val
+            return cache[key]
+
+        pop = [space.random_config(rng) for _ in range(self.population)]
+        dims = space.parameters
+
+        def tournament() -> dict:
+            a, b = rng.integers(len(pop)), rng.integers(len(pop))
+            ca, cb = pop[int(a)], pop[int(b)]
+            return ca if fitness(ca) <= fitness(cb) else cb
+
+        for _gen in range(self.generations):
+            if budget is not None and len(history) >= budget:
+                break
+            scored = sorted(pop, key=fitness)
+            nxt = [dict(c) for c in scored[: self.elite]]
+            while len(nxt) < self.population:
+                p1, p2 = tournament(), tournament()
+                child = {
+                    p.name: (p1 if rng.random() < 0.5 else p2)[p.name]
+                    for p in dims
+                }
+                for p in dims:
+                    if rng.random() < self.mutation_rate:
+                        child[p.name] = p.values[int(rng.integers(len(p)))]
+                nxt.append(child)
+            pop = nxt
+
+        best_config = min(cache, key=cache.get)
+        return self._result(
+            space, dict(best_config), cache[best_config], history
+        )

@@ -1,0 +1,43 @@
+"""Random search: uniform sampling without replacement (within budget)."""
+
+from __future__ import annotations
+
+from repro.autotune.search.base import Objective, Search, SearchResult
+from repro.autotune.space import ParameterSpace
+from repro.util.rng import rng_for
+
+
+class RandomSearch(Search):
+    name = "random"
+
+    def __init__(self, budget: int = 100, seed: int | None = None):
+        if budget <= 0:
+            raise ValueError("budget must be positive")
+        self.budget = budget
+        self.seed = seed
+
+    def search(self, space: ParameterSpace, objective: Objective,
+               budget: int | None = None) -> SearchResult:
+        n = budget if budget is not None else self.budget
+        n = min(n, len(space))
+        rng = rng_for("search", "random", self.seed)
+        seen: set = set()
+        history: list = []
+        best_config = None
+        best_value = float("inf")
+        attempts = 0
+        while len(history) < n and attempts < 50 * n:
+            attempts += 1
+            config = space.random_config(rng)
+            key = tuple(sorted(config.items()))
+            if key in seen:
+                continue
+            seen.add(key)
+            value = objective(config)
+            self._track(history, config, value)
+            if value < best_value:
+                best_value = value
+                best_config = config
+        if best_config is None:
+            raise ValueError("random search evaluated nothing")
+        return self._result(space, best_config, best_value, history)

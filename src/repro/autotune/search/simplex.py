@@ -1,0 +1,107 @@
+"""Nelder-Mead simplex search mapped onto the discrete lattice.
+
+The simplex lives in continuous coordinate space (one dimension per
+parameter, in index units); every evaluation snaps to the nearest lattice
+point.  Standard reflection / expansion / contraction / shrink moves with
+restart on degenerate simplices.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autotune.search.base import Objective, Search, SearchResult
+from repro.autotune.space import ParameterSpace
+from repro.util.rng import rng_for
+
+
+class NelderMeadSearch(Search):
+    name = "simplex"
+
+    def __init__(self, budget: int = 150, seed: int | None = None,
+                 alpha: float = 1.0, gamma: float = 2.0,
+                 rho: float = 0.5, sigma: float = 0.5):
+        if budget <= 2:
+            raise ValueError("budget must exceed 2")
+        self.budget = budget
+        self.seed = seed
+        self.alpha, self.gamma, self.rho, self.sigma = alpha, gamma, rho, sigma
+
+    def search(self, space: ParameterSpace, objective: Objective,
+               budget: int | None = None) -> SearchResult:
+        n_budget = budget if budget is not None else self.budget
+        rng = rng_for("search", "simplex", self.seed)
+        dims = len(space.parameters)
+        history: list = []
+        cache: dict = {}
+
+        def eval_point(x: np.ndarray) -> float:
+            coords = space.clip(np.round(x).astype(int))
+            config = space.config_at(coords)
+            key = coords
+            if key not in cache:
+                if len(history) >= n_budget:
+                    return float("inf")
+                val = objective(config)
+                self._track(history, config, val)
+                cache[key] = val
+            return cache[key]
+
+        def random_simplex() -> list:
+            base = np.array(
+                [rng.integers(len(p)) for p in space.parameters], dtype=float
+            )
+            pts = [base]
+            for d in range(dims):
+                v = base.copy()
+                span = max(1.0, (len(space.parameters[d]) - 1) / 3.0)
+                v[d] += span if rng.random() < 0.5 else -span
+                pts.append(v)
+            return pts
+
+        simplex = random_simplex()
+        values = [eval_point(x) for x in simplex]
+
+        while len(history) < n_budget:
+            order = np.argsort(values)
+            simplex = [simplex[i] for i in order]
+            values = [values[i] for i in order]
+            centroid = np.mean(simplex[:-1], axis=0)
+            worst = simplex[-1]
+
+            if np.allclose(simplex[0], worst):
+                simplex = random_simplex()  # degenerate: restart
+                values = [eval_point(x) for x in simplex]
+                continue
+
+            refl = centroid + self.alpha * (centroid - worst)
+            f_refl = eval_point(refl)
+            if values[0] <= f_refl < values[-2]:
+                simplex[-1], values[-1] = refl, f_refl
+            elif f_refl < values[0]:
+                exp = centroid + self.gamma * (refl - centroid)
+                f_exp = eval_point(exp)
+                if f_exp < f_refl:
+                    simplex[-1], values[-1] = exp, f_exp
+                else:
+                    simplex[-1], values[-1] = refl, f_refl
+            else:
+                contr = centroid + self.rho * (worst - centroid)
+                f_contr = eval_point(contr)
+                if f_contr < values[-1]:
+                    simplex[-1], values[-1] = contr, f_contr
+                else:
+                    best = simplex[0]
+                    simplex = [best] + [
+                        best + self.sigma * (x - best) for x in simplex[1:]
+                    ]
+                    values = [values[0]] + [
+                        eval_point(x) for x in simplex[1:]
+                    ]
+
+        if not cache:
+            raise ValueError("simplex search evaluated nothing")
+        best_key = min(cache, key=cache.get)
+        return self._result(
+            space, space.config_at(best_key), cache[best_key], history
+        )

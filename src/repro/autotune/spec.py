@@ -1,0 +1,141 @@
+"""Parser for Orio ``PerfTuning`` annotations (paper Fig. 3 syntax).
+
+.. code-block:: c
+
+    /*@ begin PerfTuning (
+      def performance_params {
+        param TC[]     = range(32,1025,32);
+        param BC[]     = range(24,193,24);
+        param UIF[]    = range(1,6);
+        param PL[]     = [16,48];
+        param CFLAGS[] = ['', '-use_fast_math'];
+      }
+      ...
+    ) @*/
+
+Only the ``performance_params`` block is interpreted; parameter values are
+``range(a, b[, c])`` expressions or literal lists of integers / quoted
+strings.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.autotune.space import Parameter, ParameterSpace
+
+_PARAM_RE = re.compile(
+    r"param\s+(\w+)\s*\[\s*\]\s*=\s*([^;]+);", re.MULTILINE
+)
+_RANGE_RE = re.compile(
+    r"^range\(\s*(-?\d+)\s*,\s*(-?\d+)\s*(?:,\s*(-?\d+)\s*)?\)$"
+)
+
+
+class SpecError(ValueError):
+    """Raised on malformed tuning specifications."""
+
+
+def _parse_values(text: str, name: str) -> tuple:
+    text = text.strip()
+    m = _RANGE_RE.match(text)
+    if m:
+        a, b = int(m.group(1)), int(m.group(2))
+        c = int(m.group(3)) if m.group(3) else 1
+        if c == 0:
+            raise SpecError(f"{name}: zero range step")
+        vals = tuple(range(a, b, c))
+        if not vals:
+            raise SpecError(f"{name}: empty range {text}")
+        return vals
+    if text.startswith("[") and text.endswith("]"):
+        inner = text[1:-1].strip()
+        if not inner:
+            raise SpecError(f"{name}: empty value list")
+        out = []
+        for tok in _split_list(inner):
+            tok = tok.strip()
+            if (tok.startswith("'") and tok.endswith("'")) or (
+                tok.startswith('"') and tok.endswith('"')
+            ):
+                out.append(tok[1:-1])
+            else:
+                try:
+                    out.append(int(tok))
+                except ValueError:
+                    raise SpecError(
+                        f"{name}: cannot parse list element {tok!r}"
+                    ) from None
+        return tuple(out)
+    raise SpecError(f"{name}: cannot parse values {text!r}")
+
+
+def _split_list(inner: str) -> list[str]:
+    """Split on commas, honouring quotes."""
+    out, cur, quote = [], [], None
+    for ch in inner:
+        if quote:
+            cur.append(ch)
+            if ch == quote:
+                quote = None
+        elif ch in "'\"":
+            quote = ch
+            cur.append(ch)
+        elif ch == ",":
+            out.append("".join(cur))
+            cur = []
+        else:
+            cur.append(ch)
+    if cur:
+        out.append("".join(cur))
+    return out
+
+
+def parse_perf_tuning(text: str) -> ParameterSpace:
+    """Parse a PerfTuning annotation into a :class:`ParameterSpace`."""
+    if "performance_params" not in text:
+        raise SpecError("no performance_params block found")
+    block_start = text.index("performance_params")
+    brace = text.find("{", block_start)
+    if brace < 0:
+        raise SpecError("performance_params block has no '{'")
+    depth = 0
+    end = -1
+    for i in range(brace, len(text)):
+        if text[i] == "{":
+            depth += 1
+        elif text[i] == "}":
+            depth -= 1
+            if depth == 0:
+                end = i
+                break
+    if end < 0:
+        raise SpecError("unterminated performance_params block")
+    block = text[brace + 1:end]
+
+    params = []
+    for m in _PARAM_RE.finditer(block):
+        name, values_text = m.group(1), m.group(2)
+        params.append(Parameter(name, _parse_values(values_text, name)))
+    if not params:
+        raise SpecError("performance_params block defines no parameters")
+    return ParameterSpace(params)
+
+
+DEFAULT_SPEC_TEXT = """\
+/*@ begin PerfTuning (
+  def performance_params {
+    param TC[]     = range(32,1025,32);
+    param BC[]     = range(24,193,24);
+    param UIF[]    = range(1,6);
+    param PL[]     = [16,48];
+    param CFLAGS[] = ['', '-use_fast_math'];
+  }
+) @*/
+"""
+"""The paper's Fig. 3 specification (5,120 variants)."""
+
+
+def default_tuning_spec() -> ParameterSpace:
+    """The Table III space, parsed from the Fig. 3 annotation text."""
+    return parse_perf_tuning(DEFAULT_SPEC_TEXT)

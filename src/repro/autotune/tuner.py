@@ -1,0 +1,112 @@
+"""The autotuner facade: the piece of Orio the paper plugs into."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.specs import GPUSpec
+from repro.autotune.measure import Measurer
+from repro.autotune.results import TuningResults
+from repro.autotune.search import (
+    ExhaustiveSearch,
+    Search,
+    SearchResult,
+    StaticSearch,
+    get_search,
+)
+from repro.autotune.spec import default_tuning_spec
+from repro.autotune.space import ParameterSpace
+from repro.kernels.base import Benchmark
+from repro.sim.timing import DEFAULT_PARAMS, ModelParams
+
+
+@dataclass
+class TuneOutcome:
+    """What one tuning run produced."""
+
+    search: SearchResult
+    results: TuningResults
+    measurer: Measurer
+
+    @property
+    def best_config(self) -> dict:
+        return self.search.best_config
+
+    @property
+    def best_seconds(self) -> float:
+        return self.search.best_value
+
+
+class Autotuner:
+    """Tunes one benchmark on one (simulated) GPU.
+
+    >>> from repro.kernels import get_benchmark
+    >>> from repro.arch import get_gpu
+    >>> tuner = Autotuner(get_benchmark("atax"), get_gpu("kepler"))
+    >>> out = tuner.tune(size=64, search="static")   # doctest: +SKIP
+    """
+
+    def __init__(
+        self,
+        benchmark: Benchmark,
+        gpu: GPUSpec,
+        space: ParameterSpace | None = None,
+        model_params: ModelParams = DEFAULT_PARAMS,
+    ):
+        self.benchmark = benchmark
+        self.gpu = gpu
+        self.space = space if space is not None else default_tuning_spec()
+        self.model_params = model_params
+
+    def make_search(self, search, use_rule: bool = False,
+                    size: int | None = None, **kwargs) -> Search:
+        """Build a strategy; ``"static"`` wires in benchmark/GPU context."""
+        if isinstance(search, Search):
+            return search
+        if search == "static":
+            if size is None:
+                raise ValueError("static search needs the input size")
+            inner_name = kwargs.pop("inner", None)
+            inner = get_search(inner_name, **kwargs) if inner_name else None
+            return StaticSearch(
+                self.benchmark, self.gpu, size=size, use_rule=use_rule,
+                inner=inner,
+            )
+        return get_search(search, **kwargs)
+
+    def tune(
+        self,
+        size: int,
+        search="exhaustive",
+        use_rule: bool = False,
+        budget: int | None = None,
+        **search_kwargs,
+    ) -> TuneOutcome:
+        """Run one tuning sweep at one input size."""
+        measurer = Measurer(self.benchmark, self.gpu,
+                            params=self.model_params)
+        results = TuningResults(self.benchmark.name, self.gpu.name)
+
+        def objective(config: dict) -> float:
+            m = measurer.measure(config, size)
+            results.add(m)
+            return m.seconds
+
+        strategy = self.make_search(search, use_rule=use_rule, size=size,
+                                    **search_kwargs)
+        sr = strategy.search(self.space, objective, budget=budget)
+        return TuneOutcome(search=sr, results=results, measurer=measurer)
+
+    def sweep(self, sizes=None, space: ParameterSpace | None = None
+              ) -> TuningResults:
+        """Exhaustively measure the whole space across input sizes,
+        pooling measurements (the Fig. 4 / Table V data collection)."""
+        sizes = sizes if sizes is not None else self.benchmark.sizes
+        space = space if space is not None else self.space
+        measurer = Measurer(self.benchmark, self.gpu,
+                            params=self.model_params)
+        results = TuningResults(self.benchmark.name, self.gpu.name)
+        for n in sizes:
+            for config in space:
+                results.add(measurer.measure(config, n))
+        return results

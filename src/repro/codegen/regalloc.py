@@ -1,0 +1,186 @@
+"""Linear-scan register allocation.
+
+Maps the virtual registers produced by lowering onto physical register
+classes (``%r`` s32/u32, ``%f`` f32, ``%rd`` s64, ``%fd`` f64, ``%p``
+predicates) and computes the per-thread register count that the occupancy
+model consumes -- the number ``ptxas -v`` would report.
+
+Modelling notes:
+
+- live intervals are extended across loop back edges, so loop-carried
+  values (accumulators, loop counters) hold their register for the whole
+  loop, as real allocators must;
+- 64-bit values occupy two 32-bit slots (register pairs);
+- predicates live in their own bank and do not count toward the slot total
+  (as on real hardware, which has a small separate predicate file);
+- each architecture reserves a few registers for the ABI/system use; the
+  reservation differs per generation, which is one reason the paper's
+  Table VII reports different ``R_u`` per architecture for the same kernel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ptx.instruction import Instruction, Label, Reg
+from repro.ptx.isa import DType
+from repro.ptx.module import KernelIR
+
+
+@dataclass(frozen=True)
+class AllocationResult:
+    """Outcome of register allocation for one kernel."""
+
+    kernel: KernelIR
+    regs_per_thread: int
+    slots_by_class: dict
+    spilled: int
+    mapping: dict
+
+
+_CLASS_PREFIX = {
+    DType.S32: "%r",
+    DType.U32: "%r",
+    DType.F32: "%f",
+    DType.S64: "%rd",
+    DType.F64: "%fd",
+    DType.PRED: "%p",
+}
+
+_SLOTS = {DType.S32: 1, DType.U32: 1, DType.F32: 1,
+          DType.S64: 2, DType.F64: 2, DType.PRED: 0}
+
+
+def _live_intervals(body: list) -> dict[str, tuple[int, int, DType]]:
+    """[first_def, last_use] per virtual register, extended over loops."""
+    first: dict[str, int] = {}
+    last: dict[str, int] = {}
+    dtype: dict[str, DType] = {}
+    label_pos: dict[str, int] = {}
+    instrs: list[tuple[int, Instruction]] = []
+
+    pos = 0
+    for item in body:
+        if isinstance(item, Label):
+            label_pos[item.name] = pos
+        else:
+            instrs.append((pos, item))
+            pos += 1
+
+    for p, ins in instrs:
+        for r in ins.registers_written():
+            first.setdefault(r.name, p)
+            last[r.name] = max(last.get(r.name, p), p)
+            dtype[r.name] = r.dtype
+        for r in ins.registers_read():
+            if r.name not in first:
+                first[r.name] = p  # reads of undefined regs: verifier's job
+            last[r.name] = max(last.get(r.name, p), p)
+            dtype.setdefault(r.name, r.dtype)
+
+    # loop extension: for every backward branch target..branch range, any
+    # interval entering the loop live must survive to the loop end
+    loops: list[tuple[int, int]] = []
+    for p, ins in instrs:
+        tgt = ins.branch_target
+        if tgt is not None and tgt in label_pos and label_pos[tgt] <= p:
+            loops.append((label_pos[tgt], p))
+    changed = True
+    while changed:
+        changed = False
+        for start, end in loops:
+            for name in first:
+                if first[name] < start and last[name] >= start and last[name] < end:
+                    last[name] = end
+                    changed = True
+
+    return {n: (first[n], last[n], dtype[n]) for n in first}
+
+
+class _Pool:
+    """A free-list pool for one physical register class."""
+
+    def __init__(self, prefix: str):
+        self.prefix = prefix
+        self.free: list[int] = []
+        self.high_water = 0
+
+    def take(self) -> int:
+        if self.free:
+            return self.free.pop()
+        self.high_water += 1
+        return self.high_water
+
+    def release(self, idx: int) -> None:
+        self.free.append(idx)
+
+
+def allocate_registers(
+    ir: KernelIR,
+    reserved: int = 2,
+    max_regs: int = 255,
+) -> AllocationResult:
+    """Run linear scan over ``ir`` and return the renamed kernel.
+
+    ``reserved`` models per-architecture ABI registers added to the reported
+    count.  If the slot demand exceeds ``max_regs``, the excess is counted
+    as ``spilled`` (the reported register count is clamped, mirroring
+    ``ptxas --maxrregcount`` behaviour) -- the benchmark kernels never spill.
+    """
+    intervals = _live_intervals(ir.body)
+    order = sorted(intervals.items(), key=lambda kv: (kv[1][0], kv[1][1]))
+
+    pools: dict[str, _Pool] = {}
+    active: list[tuple[int, str, str, int]] = []  # (end, vname, prefix, idx)
+    mapping: dict[str, Reg] = {}
+
+    for vname, (start, end, dt) in order:
+        # expire finished intervals
+        still = []
+        for a_end, a_name, a_prefix, a_idx in active:
+            if a_end < start:
+                pools[a_prefix].release(a_idx)
+            else:
+                still.append((a_end, a_name, a_prefix, a_idx))
+        active = still
+
+        prefix = _CLASS_PREFIX[dt]
+        pool = pools.setdefault(prefix, _Pool(prefix))
+        idx = pool.take()
+        mapping[vname] = Reg(f"{prefix}{idx}", dt)
+        active.append((end, vname, prefix, idx))
+
+    new_body = []
+    for item in ir.body:
+        if isinstance(item, Label):
+            new_body.append(item)
+        else:
+            new_body.append(item.rename_registers(mapping))
+
+    slots_by_class = {}
+    slot_total = 0
+    for prefix, pool in pools.items():
+        per = 2 if prefix in ("%rd", "%fd") else (0 if prefix == "%p" else 1)
+        slots_by_class[prefix] = pool.high_water
+        slot_total += pool.high_water * per
+
+    demanded = slot_total + reserved
+    spilled = max(0, demanded - max_regs)
+    regs_per_thread = min(demanded, max_regs)
+
+    out = KernelIR(
+        name=ir.name,
+        params=ir.params,
+        body=new_body,
+        regs_per_thread=regs_per_thread,
+        static_smem_bytes=ir.static_smem_bytes,
+        target_sm=ir.target_sm,
+        meta=dict(ir.meta),
+    )
+    return AllocationResult(
+        kernel=out,
+        regs_per_thread=regs_per_thread,
+        slots_by_class=slots_by_class,
+        spilled=spilled,
+        mapping=mapping,
+    )

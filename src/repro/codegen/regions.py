@@ -1,0 +1,239 @@
+"""Region tree: the bridge between static code and dynamic behaviour.
+
+Lowering annotates every emitted instruction with the *region* it belongs
+to: the kernel preamble (ROOT), the grid-stride parallel loop (PLOOP),
+sequential loops (SLOOP), or branch arms (THEN/ELSE).  A region records the
+Table II category counts of its direct instructions, register-operand
+traffic, and the memory accesses it performs.
+
+Execution counts then follow from region semantics:
+
+- ROOT executes once per launched thread (``TC * BC``);
+- a PLOOP's body executes exactly once per loop iteration across the whole
+  grid (grid-stride mapping), i.e. ``upper - lower`` times in total;
+- a SLOOP's body executes ``trips`` times per entry of its parent;
+- branch arms execute a *fraction* of their parent's count -- exact when the
+  caller can evaluate the condition over the iteration domain
+  (:mod:`repro.sim.counting`), or the analyzer's 0.5 assumption for the
+  paper's static estimate.
+
+This split is precisely the paper's static/dynamic distinction: the static
+analyzer sees the same region tree but must guess multiplicities, which is
+where the Table VI estimation error comes from.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.arch.throughput import InstrCategory, PipeClass
+from repro.codegen.ast_nodes import Expr, evaluate_expr
+from repro.ptx.isa import DType, MemSpace
+
+
+class RegionKind(enum.Enum):
+    ROOT = "root"
+    PLOOP = "parallel-loop"
+    SLOOP = "sequential-loop"
+    THEN = "then"
+    ELSE = "else"
+
+
+@dataclass(frozen=True)
+class MemAccess:
+    """One static memory instruction with its access pattern.
+
+    ``pattern`` is one of ``"coalesced"`` (adjacent threads touch adjacent
+    elements), ``"uniform"`` (all threads of a warp touch the same element),
+    or ``"strided"`` (thread-dependent with element stride ``stride``).
+
+    ``seq_stride`` is the element stride with respect to the innermost
+    enclosing *sequential* loop variable: 1 means consecutive iterations of
+    one thread walk consecutive elements, so a fetched cache line serves
+    several iterations *if it survives in cache* -- the occupancy-dependent
+    cache-thrash effect the timing model charges for.
+    """
+
+    space: MemSpace
+    dtype: DType
+    pattern: str
+    stride: int
+    is_store: bool
+    seq_stride: int = 0
+    is_atomic: bool = False
+
+    def transactions_per_warp(self, warp_size: int = 32,
+                              line_bytes: int = 128) -> int:
+        """Memory transactions one warp needs for this access."""
+        if self.space is MemSpace.SHARED:
+            return 1  # banked; conflicts modelled separately
+        elem = self.dtype.nbytes
+        if self.pattern == "uniform":
+            return 1
+        if self.pattern == "coalesced":
+            return max(1, (warp_size * elem) // line_bytes)
+        # strided: each lane in its own segment once stride*elem >= line
+        span = min(self.stride * elem, line_bytes)
+        lanes_per_line = max(1, line_bytes // max(span, 1))
+        return max(1, -(-warp_size // lanes_per_line))
+
+
+@dataclass
+class Region:
+    """A node of the region tree."""
+
+    id: str
+    kind: RegionKind
+    counts: Counter = field(default_factory=Counter)
+    reg_ops: int = 0
+    mem_accesses: list = field(default_factory=list)
+    children: list = field(default_factory=list)
+    # loop metadata (PLOOP / SLOOP)
+    loop_var: str | None = None
+    lower: Expr | None = None
+    upper: Expr | None = None
+    step: int = 1
+    # branch metadata (THEN / ELSE)
+    cond: Expr | None = None
+    prob_hint: float | None = None
+
+    def add_instruction(self, category: InstrCategory, reg_ops: int) -> None:
+        self.counts[category] += 1
+        self.reg_ops += reg_ops
+
+    def iterations(self, env: dict[str, float]) -> int:
+        """Total iterations of a loop region given parameter bindings."""
+        if self.kind not in (RegionKind.PLOOP, RegionKind.SLOOP):
+            raise ValueError(f"region {self.id} is not a loop")
+        lo = int(evaluate_expr(self.lower, env))
+        hi = int(evaluate_expr(self.upper, env))
+        if hi <= lo:
+            return 0
+        return -(-(hi - lo) // self.step)
+
+    def walk(self):
+        yield self
+        for c in self.children:
+            yield from c.walk()
+
+    def static_totals(self) -> tuple[Counter, int]:
+        """Plain static sums over the subtree (the raw disassembly view)."""
+        counts: Counter = Counter()
+        regs = 0
+        for r in self.walk():
+            counts.update(r.counts)
+            regs += r.reg_ops
+        return counts, regs
+
+
+@dataclass(frozen=True)
+class DynamicCounts:
+    """Evaluated dynamic instruction counts for one launch.
+
+    ``by_category`` maps Table II categories to execution counts;
+    ``reg_ops`` is total register-operand traffic (the paper's ``Regs``
+    metric / O_reg); ``mem_traffic`` is a list of ``(MemAccess, thread
+    executions)`` pairs from which transaction/byte totals derive;
+    ``mem_transactions`` and ``dram_bytes`` are the pattern-weighted totals
+    assuming no cache effects (the timing model refines them with its
+    occupancy-dependent cache model).
+    """
+
+    by_category: dict
+    reg_ops: float
+    mem_transactions: float
+    dram_bytes: float
+    total_threads: int
+    mem_traffic: tuple = ()
+
+    def by_pipe(self) -> dict[PipeClass, float]:
+        """Aggregate to the paper's four classes: O_fl, O_mem, O_ctrl, O_reg.
+
+        ``REG`` is register-operand traffic, which is tracked separately
+        from instruction counts.
+        """
+        agg = {p: 0.0 for p in PipeClass}
+        for cat, n in self.by_category.items():
+            agg[cat.pipe] += n
+        agg[PipeClass.REG] += self.reg_ops
+        return agg
+
+    @property
+    def total_instructions(self) -> float:
+        return float(sum(self.by_category.values()))
+
+
+BranchFractionFn = Callable[[Region, dict, list], float]
+
+
+def _half(region: Region, env: dict, loop_stack: list) -> float:
+    """The static analyzer's branch assumption: both arms equally likely.
+
+    The callback receives THEN *and* ELSE regions and must return the
+    execution multiplier for that specific arm (this matters for warp-level
+    accounting, where both arms can have multiplier ~1 under divergence).
+    """
+    return 0.5
+
+
+def evaluate_region_tree(
+    root: Region,
+    env: dict[str, float],
+    total_threads: int,
+    branch_fraction: BranchFractionFn = _half,
+    warp_size: int = 32,
+) -> DynamicCounts:
+    """Compute dynamic counts for the tree under parameter bindings ``env``.
+
+    ``branch_fraction(region, env, loop_stack)`` returns the probability
+    that a THEN region's condition holds, given the stack of enclosing loop
+    regions (outermost first); ELSE regions automatically receive the
+    complement.  Pass an exact evaluator for ground-truth counts or keep the
+    default 0.5 for the paper's static estimate.
+    """
+    if root.kind is not RegionKind.ROOT:
+        raise ValueError("evaluate_region_tree expects the ROOT region")
+    by_cat: Counter = Counter()
+    reg_ops = 0.0
+    transactions = 0.0
+    dram_bytes = 0.0
+    traffic: list = []
+
+    def visit(region: Region, count: float, loops: list) -> None:
+        nonlocal reg_ops, transactions, dram_bytes
+        for cat, n in region.counts.items():
+            by_cat[cat] += n * count
+        reg_ops += region.reg_ops * count
+        warps = count / warp_size
+        for acc in region.mem_accesses:
+            traffic.append((acc, count))
+            tx = acc.transactions_per_warp(warp_size)
+            transactions += tx * warps
+            if acc.space is MemSpace.GLOBAL:
+                dram_bytes += tx * 32.0 * warps  # 32B DRAM segments
+
+        for child in region.children:
+            if child.kind is RegionKind.PLOOP:
+                child_count = float(child.iterations(env))
+                visit(child, child_count, loops + [child])
+            elif child.kind is RegionKind.SLOOP:
+                child_count = count * child.iterations(env)
+                visit(child, child_count, loops + [child])
+            elif child.kind in (RegionKind.THEN, RegionKind.ELSE):
+                frac = branch_fraction(child, env, loops)
+                visit(child, count * frac, loops)
+            else:
+                raise ValueError(f"unexpected child region kind {child.kind}")
+
+    visit(root, float(total_threads), [])
+    return DynamicCounts(
+        by_category=dict(by_cat),
+        reg_ops=reg_ops,
+        mem_transactions=transactions,
+        dram_bytes=dram_bytes,
+        total_threads=total_threads,
+        mem_traffic=tuple(traffic),
+    )

@@ -1,0 +1,11 @@
+"""AST-level transformations applied before lowering.
+
+These model the code transformations Orio parameterizes: loop unrolling
+(the ``UIF`` tuning parameter) here; ``-use_fast_math`` is handled inside
+lowering since it is an instruction-selection choice rather than a loop
+restructuring.
+"""
+
+from repro.codegen.transforms.unroll import unroll_innermost, unroll_loop
+
+__all__ = ["unroll_innermost", "unroll_loop"]

@@ -1,0 +1,91 @@
+"""The paper's contribution: static analysis and predictive models.
+
+This package implements Section III of the paper:
+
+- :mod:`repro.core.occupancy` -- the occupancy model of Eqs. 1-5, with the
+  per-resource limiter terms ``G_psi`` under the paper's notation, plus
+  occupancy curves over thread counts (the Fig. 7 calculator view);
+- :mod:`repro.core.instruction_mix` -- static instruction-mix metrics over
+  the disassembled stream, the FLOPS/MEM/CTRL/REG classes, and the
+  computational *intensity* that drives the rule-based heuristic;
+- :mod:`repro.core.pipeline` -- pipeline-utilization estimates (Sec. III-B2);
+- :mod:`repro.core.timing_model` -- the Eq. 6 predictive model
+  ``f(N) = cf*Ofl + cm*Omem + cb*Octrl + cr*Oreg`` with CPI coefficients;
+- :mod:`repro.core.divergence` -- CFG-based static divergence analysis;
+- :mod:`repro.core.suggest` -- the Table VII parameter suggestions
+  (T*, [Ru : R*], S*, occ*);
+- :mod:`repro.core.rules` -- the intensity-threshold rule (Sec. III-C);
+- :mod:`repro.core.analyzer` -- the :class:`StaticAnalyzer` facade that the
+  autotuner integration consumes.
+
+Everything here is *static*: no kernel is ever executed.  The only inputs
+are the compiled artifact (instruction stream, registers, shared memory)
+and the problem size.
+"""
+
+from repro.core.occupancy import (
+    OccupancyResult,
+    occupancy,
+    blocks_limited_by_warps,
+    blocks_limited_by_registers,
+    blocks_limited_by_smem,
+    occupancy_curve,
+)
+from repro.core.instruction_mix import (
+    MixReport,
+    static_mix,
+    raw_static_mix,
+    intensity,
+)
+from repro.core.pipeline import pipeline_utilization
+from repro.core.timing_model import Eq6Model, predict_time, fit_scale
+from repro.core.divergence import DivergenceReport, analyze_divergence
+from repro.core.suggest import Suggestion, suggest_parameters
+from repro.core.rules import INTENSITY_THRESHOLD, rule_based_threads
+from repro.core.analyzer import StaticAnalyzer, AnalysisReport
+from repro.core.occupancy_api import (
+    LaunchSuggestion,
+    max_active_blocks_per_multiprocessor,
+    max_potential_block_size,
+    suggest_launch_for_kernel,
+)
+from repro.core.dynamic import DynamicReport, profile_benchmark
+from repro.core.classifier import (
+    BlockSizeClassifier,
+    extract_features,
+    train_on_sweeps,
+)
+
+__all__ = [
+    "OccupancyResult",
+    "occupancy",
+    "blocks_limited_by_warps",
+    "blocks_limited_by_registers",
+    "blocks_limited_by_smem",
+    "occupancy_curve",
+    "MixReport",
+    "static_mix",
+    "raw_static_mix",
+    "intensity",
+    "pipeline_utilization",
+    "Eq6Model",
+    "predict_time",
+    "fit_scale",
+    "DivergenceReport",
+    "analyze_divergence",
+    "Suggestion",
+    "suggest_parameters",
+    "INTENSITY_THRESHOLD",
+    "rule_based_threads",
+    "StaticAnalyzer",
+    "AnalysisReport",
+    "LaunchSuggestion",
+    "max_active_blocks_per_multiprocessor",
+    "max_potential_block_size",
+    "suggest_launch_for_kernel",
+    "DynamicReport",
+    "profile_benchmark",
+    "BlockSizeClassifier",
+    "extract_features",
+    "train_on_sweeps",
+]

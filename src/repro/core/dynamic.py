@@ -1,0 +1,162 @@
+"""Dynamic-analysis metrics (the right-hand side of the paper's Fig. 2).
+
+The paper's framework diagram pairs the static analyses (IM/OC/CF) with
+dynamic ones: **IC** (instruction counts), **BF** (branch frequency) and
+**MD** (memory distance), citing the authors' companion work [7].  This
+module computes all three from an emulator run, giving the "dynamic-based
+performance models" branch of Fig. 2 a concrete implementation that the
+static estimates can be validated against.
+
+- instruction counts: per-category executed instructions (thread-level and
+  warp-issue-level) -- directly from :class:`EmulationResult`;
+- branch frequency: executed conditional branches, how many diverged, and
+  the resulting SIMD efficiency;
+- memory (reuse) distance: for each global load address stream, the number
+  of *distinct* addresses touched between consecutive uses of the same
+  32-byte line -- small distances mean cache-friendly streams.  Collected
+  by a lightweight tracing hook on the device memory.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.codegen.compiler import CompiledModule
+from repro.sim.emulator import EmulationResult, run_benchmark_emulated
+from repro.sim.memory import DeviceMemory
+
+
+@dataclass
+class MemoryDistanceHistogram:
+    """Reuse-distance histogram over 32-byte lines."""
+
+    bins: tuple = (1, 4, 16, 64, 256, 1024, 4096)
+    counts: Counter = field(default_factory=Counter)
+    cold: int = 0
+
+    def record(self, distance: int | None) -> None:
+        if distance is None:
+            self.cold += 1
+            return
+        for b in self.bins:
+            if distance <= b:
+                self.counts[b] += 1
+                return
+        self.counts[float("inf")] += 1
+
+    @property
+    def total(self) -> int:
+        return self.cold + sum(self.counts.values())
+
+    def locality_score(self) -> float:
+        """Fraction of reuses within 64 distinct lines (L1-sized window)."""
+        if self.total == 0:
+            return 0.0
+        near = sum(v for b, v in self.counts.items()
+                   if b != float("inf") and b <= 64)
+        return near / self.total
+
+
+class _TracingMemory(DeviceMemory):
+    """DeviceMemory that records the global-load line stream."""
+
+    LINE = 32
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.histogram = MemoryDistanceHistogram()
+        self._last_use: dict[int, int] = {}
+        self._stack: list[int] = []  # recent distinct lines, most recent last
+        self._clock = 0
+
+    def gather(self, addrs, mask, dtype):
+        if mask.any():
+            lines = np.unique(addrs[mask] // self.LINE)
+            for line in lines.tolist():
+                self._touch(int(line))
+        return super().gather(addrs, mask, dtype)
+
+    def _touch(self, line: int) -> None:
+        try:
+            idx = self._stack.index(line)
+        except ValueError:
+            self.histogram.record(None)
+        else:
+            distance = len(self._stack) - idx - 1
+            self.histogram.record(distance)
+            del self._stack[idx]
+        self._stack.append(line)
+        if len(self._stack) > 8192:
+            del self._stack[: len(self._stack) // 2]
+
+
+@dataclass(frozen=True)
+class DynamicReport:
+    """IC + BF + MD bundle for one emulated benchmark run."""
+
+    benchmark: str
+    instruction_counts: dict
+    warp_issues: dict
+    total_instructions: int
+    branch_count: int
+    divergent_branches: int
+    simd_efficiency: float
+    memory_distance: MemoryDistanceHistogram
+
+    @property
+    def branch_divergence_rate(self) -> float:
+        if self.branch_count == 0:
+            return 0.0
+        return self.divergent_branches / self.branch_count
+
+    def summary(self) -> str:
+        lines = [
+            f"Dynamic analysis of {self.benchmark!r}",
+            f"  instructions executed : {self.total_instructions}",
+            f"  branches / divergent  : {self.branch_count} / "
+            f"{self.divergent_branches} "
+            f"({self.branch_divergence_rate:.1%})",
+            f"  SIMD efficiency       : {self.simd_efficiency:.3f}",
+            f"  memory locality score : "
+            f"{self.memory_distance.locality_score():.3f} "
+            f"({self.memory_distance.cold} cold lines)",
+        ]
+        return "\n".join(lines)
+
+
+def profile_benchmark(
+    module: CompiledModule,
+    inputs: dict,
+    tc: int,
+    bc: int,
+) -> DynamicReport:
+    """Run a benchmark under the tracing emulator and build the report."""
+    from repro.sim.emulator import EmulationResult, emulate_kernel
+
+    memory = _TracingMemory()
+    seen: set[str] = set()
+    for ck in module:
+        for p in ck.ir.params:
+            if p.is_pointer and p.name not in seen:
+                memory.alloc(p.name, np.asarray(inputs[p.name]).copy())
+                seen.add(p.name)
+    total = EmulationResult()
+    for ck in module:
+        res, _ = emulate_kernel(ck, inputs, tc, bc, memory)
+        total.merge(res)
+
+    return DynamicReport(
+        benchmark=module.name,
+        instruction_counts={
+            c.value: n for c, n in total.thread_counts.items()
+        },
+        warp_issues={c.value: n for c, n in total.warp_issues.items()},
+        total_instructions=total.total_thread_instructions,
+        branch_count=total.branch_count,
+        divergent_branches=total.divergent_branches,
+        simd_efficiency=total.simd_efficiency,
+        memory_distance=memory.histogram,
+    )

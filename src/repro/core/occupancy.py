@@ -1,0 +1,161 @@
+"""Occupancy model: paper Section III-A, Eqs. 1-5.
+
+The paper minimizes the number of active thread blocks per multiprocessor
+over the hardware constraints psi in {warps, registers, shared memory}:
+
+    B*_mp = min { G_psi(u) }                                  (Eq. 1)
+    occ_mp = W*_mp / W^cc_mp,  W*_mp = B*_mp * W_B            (Eq. 2)
+
+with the three limiter terms ``G_psiW`` (Eq. 3), ``G_psiR`` (Eq. 4) and
+``G_psiS`` (Eq. 5).  The printed equations contain typographic garbling
+(see DESIGN.md); this module implements the limiting-resource calculation
+they describe -- NVIDIA's occupancy calculator -- exposing each term under
+the paper's name, including the paper's special cases: a user register
+count above ``R^cc_T`` or shared memory above ``S^cc_B`` is illegal and
+yields zero blocks; an absent value leaves the resource unconstrained
+(``B^cc_mp``).
+
+The implementation intentionally parallels (and is tested to agree with)
+the hardware-side block scheduler in :mod:`repro.sim.occupancy_hw`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.specs import GPUSpec
+
+
+def _ceil_div(a: int, b: int) -> int:
+    return -(-a // b)
+
+
+def _ceil_to(value: int, granularity: int) -> int:
+    return _ceil_div(value, granularity) * granularity
+
+
+def blocks_limited_by_warps(gpu: GPUSpec, threads_u: int) -> int:
+    """``G_psiW(T_u)`` (Eq. 3): blocks allowed by the SM's warp capacity.
+
+    ``min(B^cc_mp, floor(W_sm / W_B))`` with ``W_B = ceil(T_u / T^cc_W)``.
+    """
+    if threads_u <= 0:
+        raise ValueError("thread count must be positive")
+    if threads_u > gpu.max_threads_per_block:
+        return 0
+    warps_b = _ceil_div(threads_u, gpu.warp_size)
+    return min(gpu.max_blocks_per_mp, gpu.max_warps_per_mp // warps_b)
+
+
+def blocks_limited_by_registers(
+    gpu: GPUSpec, regs_u: int, threads_u: int
+) -> int:
+    """``G_psiR(R_u)`` (Eq. 4): blocks allowed by the register file.
+
+    Case 1: ``R_u > R^cc_T`` -- illegal, 0 blocks.
+    Case 2: ``R_u > 0`` -- registers are allocated with the architecture's
+    granularity ``R^cc_B``; Fermi allocates per block (warps rounded to the
+    warp-allocation granularity), Kepler and later per warp.
+    Case 3: ``R_u == 0`` -- unconstrained: ``B^cc_mp``.
+    """
+    if regs_u > gpu.max_regs_per_thread:
+        return 0
+    if regs_u <= 0:
+        return gpu.max_blocks_per_mp
+    warps_b = _ceil_div(threads_u, gpu.warp_size)
+    if gpu.compute_capability < 3.0:
+        regs_block = _ceil_to(
+            regs_u * gpu.warp_size * _ceil_to(warps_b, gpu.warp_alloc_granularity),
+            gpu.reg_alloc_unit,
+        )
+        return gpu.regfile_per_block // regs_block
+    regs_warp = _ceil_to(regs_u * gpu.warp_size, gpu.reg_alloc_unit)
+    warps_fit = gpu.regfile_per_mp // regs_warp
+    return warps_fit // warps_b
+
+
+def blocks_limited_by_smem(gpu: GPUSpec, smem_u: int) -> int:
+    """``G_psiS(S_u)`` (Eq. 5): blocks allowed by shared memory.
+
+    Case 1: ``S_u > S^cc_B`` -- illegal, 0 blocks.
+    Case 2: ``S_u > 0`` -- ``floor(S^cc_mp / S_B)`` with the allocation
+    granularity applied.
+    Case 3: ``S_u == 0`` -- unconstrained: ``B^cc_mp``.
+    """
+    if smem_u > gpu.smem_per_block_bytes:
+        return 0
+    if smem_u <= 0:
+        return gpu.max_blocks_per_mp
+    smem_block = _ceil_to(smem_u, gpu.smem_alloc_unit)
+    return gpu.smem_per_mp_bytes // smem_block
+
+
+@dataclass(frozen=True)
+class OccupancyResult:
+    """Full output of the occupancy calculation for one configuration."""
+
+    gpu_name: str
+    threads_u: int
+    regs_u: int
+    smem_u: int
+    active_blocks: int
+    """``B*_mp`` (Eq. 1)."""
+
+    active_warps: int
+    """``W*_mp = B*_mp * W_B``."""
+
+    occupancy: float
+    """``occ_mp`` (Eq. 2)."""
+
+    limits: dict
+    """Each ``G_psi`` term, keyed ``"warps"`` / ``"registers"`` / ``"smem"``."""
+
+    @property
+    def limiter(self) -> str:
+        """Which resource binds ``B*_mp`` (ties break warps < regs < smem)."""
+        for name in ("warps", "registers", "smem"):
+            if self.limits[name] == self.active_blocks:
+                return name
+        return "warps"
+
+    def __str__(self) -> str:
+        return (
+            f"occ={self.occupancy:.4f} blocks={self.active_blocks} "
+            f"warps={self.active_warps} (limited by {self.limiter}; "
+            f"T={self.threads_u}, R={self.regs_u}, S={self.smem_u})"
+        )
+
+
+def occupancy(
+    gpu: GPUSpec,
+    threads_u: int,
+    regs_u: int = 0,
+    smem_u: int = 0,
+) -> OccupancyResult:
+    """Evaluate Eqs. 1-2 for one (T_u, R_u, S_u) configuration."""
+    g_w = blocks_limited_by_warps(gpu, threads_u)
+    g_r = blocks_limited_by_registers(gpu, regs_u, threads_u)
+    g_s = blocks_limited_by_smem(gpu, smem_u)
+    b_star = max(0, min(g_w, g_r, g_s))
+    warps_b = _ceil_div(threads_u, gpu.warp_size)
+    w_star = b_star * warps_b
+    return OccupancyResult(
+        gpu_name=gpu.name,
+        threads_u=threads_u,
+        regs_u=regs_u,
+        smem_u=smem_u,
+        active_blocks=b_star,
+        active_warps=w_star,
+        occupancy=w_star / gpu.max_warps_per_mp,
+        limits={"warps": g_w, "registers": g_r, "smem": g_s},
+    )
+
+
+def occupancy_curve(
+    gpu: GPUSpec,
+    regs_u: int = 0,
+    smem_u: int = 0,
+    thread_range=range(32, 1025, 32),
+) -> list[OccupancyResult]:
+    """Occupancy across thread counts -- the calculator chart of Fig. 7."""
+    return [occupancy(gpu, t, regs_u, smem_u) for t in thread_range]

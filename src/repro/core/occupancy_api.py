@@ -1,0 +1,84 @@
+"""CUDA-Toolkit-style occupancy API (paper Sec. V, related work).
+
+"The NVIDIA CUDA Toolkit includes occupancy calculation functions in the
+runtime API that return occupancy estimates for a given kernel.  In
+addition, there are occupancy-based launch configuration functions that
+can advise on grid and block sizes."
+
+These are the equivalents, implemented over the paper's Eqs. 1-5 so the
+two suggestion mechanisms (the Toolkit-style single answer and the
+analyzer's T* range) can be compared inside one framework:
+
+- :func:`max_active_blocks_per_multiprocessor` ~
+  ``cudaOccupancyMaxActiveBlocksPerMultiprocessor``;
+- :func:`max_potential_block_size` ~ ``cudaOccupancyMaxPotentialBlockSize``
+  (including the dynamic-smem-per-block callback form).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.arch.specs import GPUSpec
+from repro.codegen.compiler import CompiledKernel
+from repro.core.occupancy import occupancy
+
+
+def max_active_blocks_per_multiprocessor(
+    gpu: GPUSpec,
+    regs_per_thread: int,
+    block_size: int,
+    dynamic_smem_bytes: int = 0,
+    static_smem_bytes: int = 0,
+) -> int:
+    """Resident blocks per SM for one launch configuration."""
+    return occupancy(
+        gpu, block_size, regs_per_thread,
+        static_smem_bytes + dynamic_smem_bytes,
+    ).active_blocks
+
+
+@dataclass(frozen=True)
+class LaunchSuggestion:
+    """The Toolkit-style answer: one block size plus a minimal grid."""
+
+    block_size: int
+    min_grid_size: int
+    occupancy: float
+
+
+def max_potential_block_size(
+    gpu: GPUSpec,
+    regs_per_thread: int,
+    static_smem_bytes: int = 0,
+    dynamic_smem_of_block: Callable[[int], int] | None = None,
+    block_size_limit: int = 0,
+) -> LaunchSuggestion:
+    """Block size maximizing occupancy (largest winner, like the Toolkit).
+
+    ``dynamic_smem_of_block`` mirrors the API's per-block-size shared
+    memory callback (e.g. tiled kernels whose smem grows with the block).
+    """
+    limit = block_size_limit or gpu.max_threads_per_block
+    best = None
+    for block in range(gpu.warp_size, limit + 1, gpu.warp_size):
+        dyn = dynamic_smem_of_block(block) if dynamic_smem_of_block else 0
+        r = occupancy(gpu, block, regs_per_thread,
+                      static_smem_bytes + dyn)
+        # ties break toward the larger block, as the Toolkit does
+        if best is None or r.occupancy >= best[1]:
+            best = (block, r.occupancy, r.active_blocks)
+    block, occ, blocks = best
+    return LaunchSuggestion(
+        block_size=block,
+        min_grid_size=blocks * gpu.multiprocessors,
+        occupancy=occ,
+    )
+
+
+def suggest_launch_for_kernel(ck: CompiledKernel) -> LaunchSuggestion:
+    """Toolkit-style launch advice for a compiled kernel."""
+    return max_potential_block_size(
+        ck.options.gpu, ck.regs_per_thread, ck.static_smem_bytes
+    )

@@ -1,0 +1,80 @@
+"""Shared experiment infrastructure: sweep configuration and caching."""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.arch.specs import ALL_GPUS, GPUSpec, get_gpu
+from repro.autotune.space import Parameter, ParameterSpace
+from repro.autotune.spec import default_tuning_spec
+from repro.autotune.tuner import Autotuner
+from repro.autotune.results import TuningResults
+from repro.kernels import BENCHMARKS, get_benchmark
+
+KERNEL_ORDER = ("atax", "bicg", "ex14fj", "matvec2d")
+"""Paper presentation order of the Table IV kernels."""
+
+
+def reduced_space() -> ParameterSpace:
+    """A structure-preserving subset of the Table III space.
+
+    Keeps the full 32-value thread axis (every experiment's subject) but
+    trims the orthogonal axes, so reduced sweeps finish in seconds while
+    every thread-count effect survives: 32 (TC) x 2 (BC) x 2 (UIF) x 1 (PL)
+    x 2 (CFLAGS) = 256 variants.
+    """
+    return ParameterSpace([
+        Parameter("TC", tuple(range(32, 1025, 32))),
+        Parameter("BC", (48, 144)),
+        Parameter("UIF", (1, 3)),
+        Parameter("PL", (16,)),
+        Parameter("CFLAGS", ("", "-use_fast_math")),
+    ])
+
+
+def space_for(full: bool) -> ParameterSpace:
+    return default_tuning_spec() if full else reduced_space()
+
+
+def sizes_for(benchmark_name: str, full: bool) -> tuple:
+    bm = get_benchmark(benchmark_name)
+    if full:
+        return bm.sizes
+    return bm.sizes[::2]  # first, middle, largest
+
+
+def resolve_gpus(archs=None) -> list[GPUSpec]:
+    if archs is None:
+        return list(ALL_GPUS)
+    return [get_gpu(a) for a in archs]
+
+
+def resolve_kernels(kernels=None) -> list[str]:
+    if kernels is None:
+        return list(KERNEL_ORDER)
+    out = []
+    for k in kernels:
+        get_benchmark(k)  # validates
+        out.append(k.strip().lower())
+    return out
+
+
+_SWEEP_CACHE: dict = {}
+
+
+def exhaustive_sweep(
+    kernel: str, gpu: GPUSpec, full: bool = False
+) -> TuningResults:
+    """The pooled exhaustive sweep for (kernel, GPU): measurements of every
+    variant at every input size (Fig. 4 / Table V data).  Cached per
+    process, since several experiments share it."""
+    key = (kernel, gpu.name, full)
+    if key not in _SWEEP_CACHE:
+        bm = get_benchmark(kernel)
+        tuner = Autotuner(bm, gpu, space=space_for(full))
+        _SWEEP_CACHE[key] = tuner.sweep(sizes=sizes_for(kernel, full))
+    return _SWEEP_CACHE[key]
+
+
+def clear_sweep_cache() -> None:
+    _SWEEP_CACHE.clear()

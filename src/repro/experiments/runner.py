@@ -1,0 +1,120 @@
+"""Experiment CLI: regenerate any table or figure of the paper.
+
+Usage::
+
+    python -m repro.experiments.runner                 # all, reduced sweep
+    python -m repro.experiments.runner fig4 table5     # a subset
+    python -m repro.experiments.runner --full fig6     # paper-size sweep
+    python -m repro.experiments.runner --arch kepler --kernel atax fig4
+    python -m repro.experiments.runner --out results/  # save to files
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from repro.experiments import ALL_EXPERIMENTS
+from repro.experiments import (
+    fig1_divergence,
+    fig3_spec,
+    fig4_thread_counts,
+    fig5_time_model,
+    fig6_search_improvement,
+    fig7_occupancy_calc,
+    table1_gpus,
+    table2_throughput,
+    table5_statistics,
+    table6_mix_errors,
+    table7_suggestions,
+)
+
+_MODULES = {
+    "table1": table1_gpus,
+    "table2": table2_throughput,
+    "fig1": fig1_divergence,
+    "fig3": fig3_spec,
+    "fig4": fig4_thread_counts,
+    "table5": table5_statistics,
+    "fig5": fig5_time_model,
+    "table6": table6_mix_errors,
+    "table7": table7_suggestions,
+    "fig6": fig6_search_improvement,
+    "fig7": fig7_occupancy_calc,
+}
+
+#: which kwargs each experiment accepts
+_ACCEPTS = {
+    "table1": set(),
+    "table2": set(),
+    "fig1": set(),
+    "fig3": set(),
+    "fig4": {"full", "archs", "kernels"},
+    "table5": {"full", "archs", "kernels"},
+    "fig5": {"full", "archs", "kernels"},
+    "table6": {"full", "archs", "kernels"},
+    "table7": {"archs", "kernels"},
+    "fig6": {"full", "archs", "kernels"},
+    "fig7": {"archs"},
+}
+
+
+def run_experiment(name: str, full: bool = False, archs=None,
+                   kernels=None) -> str:
+    """Run one experiment, return its rendered text."""
+    if name not in _MODULES:
+        raise KeyError(
+            f"unknown experiment {name!r}; available: {list(_MODULES)}"
+        )
+    mod = _MODULES[name]
+    kwargs = {}
+    if "full" in _ACCEPTS[name]:
+        kwargs["full"] = full
+    if "archs" in _ACCEPTS[name] and archs:
+        kwargs["archs"] = archs
+    if "kernels" in _ACCEPTS[name] and kernels:
+        kwargs["kernels"] = kernels
+    return mod.render(mod.run(**kwargs))
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument("experiments", nargs="*", default=[],
+                        help=f"subset of {list(ALL_EXPERIMENTS)} (default all)")
+    parser.add_argument("--full", action="store_true",
+                        help="use the paper's full 5,120-variant space")
+    parser.add_argument("--arch", action="append", dest="archs",
+                        help="restrict to an architecture (repeatable)")
+    parser.add_argument("--kernel", action="append", dest="kernels",
+                        help="restrict to a kernel (repeatable)")
+    parser.add_argument("--out", type=Path, default=None,
+                        help="directory to write one .txt per experiment")
+    args = parser.parse_args(argv)
+
+    chosen = args.experiments or list(ALL_EXPERIMENTS)
+    for name in chosen:
+        if name not in _MODULES:
+            parser.error(f"unknown experiment {name!r}")
+
+    for name in chosen:
+        t0 = time.time()
+        text = run_experiment(name, full=args.full, archs=args.archs,
+                              kernels=args.kernels)
+        elapsed = time.time() - t0
+        header = f"##### {name} ({elapsed:.1f}s) " + "#" * 30
+        print(header)
+        print(text)
+        print()
+        if args.out is not None:
+            args.out.mkdir(parents=True, exist_ok=True)
+            (args.out / f"{name}.txt").write_text(text + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,115 @@
+"""Table VI: error rates when estimating dynamic mixes from static mixes.
+
+For each kernel and architecture (the paper reports Fermi, Kepler and
+Maxwell), the static analyzer's mix estimate is compared against the
+ground-truth dynamic counts at every input size.  The error per class
+(FLOPS / MEM / CTRL) is the sum over the input sizes of the squared
+relative error of the class fraction:
+
+    err_c = sum_N ((static_frac_c(N) - dyn_frac_c(N)) / dyn_frac_c(N))^2
+
+The final column is the computational intensity from the static mix (the
+value the Sec. III-C rule thresholds at 4.0).
+"""
+
+from __future__ import annotations
+
+from repro.arch.throughput import PipeClass
+from repro.codegen.compiler import CompileOptions, compile_module
+from repro.core.instruction_mix import static_mix_module
+from repro.experiments.common import resolve_gpus, resolve_kernels
+from repro.kernels import get_benchmark
+from repro.sim.counting import exact_counts
+from repro.sim.timing import LaunchConfig
+from repro.util.tables import ascii_table
+
+_FAMILY_SHORT = {"Fermi": "Fer", "Kepler": "Kep", "Maxwell": "Max",
+                 "Pascal": "Pas"}
+
+_BASELINE_TC = 128
+
+
+def _baseline_launch(module, env) -> LaunchConfig:
+    """The dynamic baseline: TC=128 with a grid sized to the work.
+
+    Launching far more threads than parallel-loop iterations would fill the
+    dynamic counts with idle-thread preambles and say nothing about the
+    kernel; a practitioner sizes the grid to ``ceil(M / TC)`` (capped at
+    the tuning space's maximum of 192 blocks).
+    """
+    from repro.codegen.ast_nodes import evaluate_expr
+
+    extent = 0
+    for ck in module:
+        if ck.parallel_extent is not None:
+            extent = max(extent, int(evaluate_expr(ck.parallel_extent, env)))
+    bc = max(1, min(192, -(-extent // _BASELINE_TC))) if extent else 1
+    return LaunchConfig(tc=_BASELINE_TC, bc=bc)
+
+
+def _fractions(by_pipe: dict) -> dict:
+    tot = sum(v for k, v in by_pipe.items() if k is not PipeClass.REG)
+    tot = max(tot, 1e-12)
+    return {k: v / tot for k, v in by_pipe.items() if k is not PipeClass.REG}
+
+
+def run(archs=("fermi", "kepler", "maxwell"), kernels=None,
+        full: bool = False) -> dict:
+    gpus = resolve_gpus(archs)
+    names = resolve_kernels(kernels)
+    rows = []
+    for kernel in names:
+        bm = get_benchmark(kernel)
+        sizes = bm.sizes if full else bm.sizes[::2]
+        for gpu in gpus:
+            module = compile_module(
+                kernel, list(bm.specs), CompileOptions(gpu=gpu)
+            )
+            errs = {PipeClass.FLOPS: 0.0, PipeClass.MEM: 0.0,
+                    PipeClass.CTRL: 0.0}
+            itns = 0.0
+            for n in sizes:
+                env = bm.param_env(n)
+                smix = static_mix_module(module, env)
+                sfrac = _fractions(smix.by_pipe())
+                launch = _baseline_launch(module, env)
+                dyn_pipe = {p: 0.0 for p in PipeClass}
+                for ck in module:
+                    dc = exact_counts(ck, env, launch.tc, launch.bc)
+                    for p, v in dc.by_pipe().items():
+                        dyn_pipe[p] += v
+                dfrac = _fractions(dyn_pipe)
+                for p in errs:
+                    d = max(dfrac[p], 1e-12)
+                    errs[p] += ((sfrac[p] - d) / d) ** 2
+                itns = smix.intensity
+            rows.append({
+                "kernel": kernel,
+                "arch": _FAMILY_SHORT[gpu.family],
+                "flops": errs[PipeClass.FLOPS],
+                "mem": errs[PipeClass.MEM],
+                "ctrl": errs[PipeClass.CTRL],
+                "intensity": itns,
+            })
+    return {"rows": rows, "baseline_tc": _BASELINE_TC}
+
+
+def render(result: dict) -> str:
+    return ascii_table(
+        ["Kernel", "Arch", "FLOPS", "MEM", "CTRL", "Itns"],
+        [[r["kernel"], r["arch"], r["flops"], r["mem"], r["ctrl"],
+          r["intensity"]] for r in result["rows"]],
+        title=("Table VI: error when estimating dynamic mixes from static "
+               f"mixes (sum of squares over sizes; dynamic baseline "
+               f"TC={result['baseline_tc']}, BC=ceil(M/TC))"),
+    )
+
+
+def main(**kwargs) -> str:
+    text = render(run(**kwargs))
+    print(text)
+    return text
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+"""Table VII: suggested parameters to achieve theoretical occupancy.
+
+Per kernel and architecture: the thread counts ``T*`` the static analyzer
+suggests, the register usage and increase potential ``[R_u : R*]``, the
+shared-memory headroom ``S*`` (bytes), and the attainable occupancy
+``occ*``.  Purely static -- nothing is executed.
+"""
+
+from __future__ import annotations
+
+from repro.core.analyzer import StaticAnalyzer
+from repro.experiments.common import resolve_gpus, resolve_kernels
+from repro.kernels import get_benchmark
+from repro.util.tables import ascii_table
+
+_FAMILY_SHORT = {"Fermi": "Fer", "Kepler": "Kep", "Maxwell": "Max",
+                 "Pascal": "Pas"}
+
+
+def run(archs=None, kernels=None) -> dict:
+    gpus = resolve_gpus(archs)
+    names = resolve_kernels(kernels)
+    rows = []
+    for kernel in names:
+        bm = get_benchmark(kernel)
+        env = bm.param_env(bm.sizes[-1])
+        for gpu in gpus:
+            rep = StaticAnalyzer(gpu).analyze(
+                list(bm.specs), env, name=kernel
+            )
+            s = rep.suggestion
+            rows.append({
+                "kernel": kernel,
+                "arch": _FAMILY_SHORT[gpu.family],
+                "threads": list(s.threads),
+                "ru": s.regs_used,
+                "rstar": s.reg_increase,
+                "sstar": s.smem_headroom,
+                "occ": s.best_occupancy,
+                "intensity": rep.intensity,
+            })
+    return {"rows": rows}
+
+
+def render(result: dict) -> str:
+    return ascii_table(
+        ["Kernel", "Arch", "T*", "[Ru : R*]", "S*", "occ*", "Itns"],
+        [
+            [r["kernel"], r["arch"],
+             ", ".join(str(t) for t in r["threads"]),
+             f"[{r['ru']} : {r['rstar']}]", r["sstar"], r["occ"],
+             r["intensity"]]
+            for r in result["rows"]
+        ],
+        title="Table VII: suggested parameters to achieve theoretical "
+              "occupancy",
+        align_right=False,
+    )
+
+
+def main(**kwargs) -> str:
+    text = render(run(**kwargs))
+    print(text)
+    return text
+
+
+if __name__ == "__main__":
+    main()

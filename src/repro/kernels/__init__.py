@@ -1,0 +1,22 @@
+"""The benchmark kernels of the paper's Table IV.
+
+============  ==========================  ==========================
+Kernel        Category                    Operation
+============  ==========================  ==========================
+atax          Elementary linear algebra   y = A^T (A x)
+BiCG          Linear solvers              q = A p,  s = A^T r
+ex14FJ        3-D Jacobi computation      F(x) = A(u) v (Bratu solid
+                                          fuel ignition Jacobian)
+matVec2D      Elementary linear algebra   y = A x (2-D decomposition)
+============  ==========================  ==========================
+
+Each benchmark bundles: the kernel spec(s) in the loop-nest DSL (the form
+Orio transforms), a NumPy reference implementation used to validate the
+emulator, an input generator, and the problem sizes the paper sweeps.
+"""
+
+from repro.kernels.base import Benchmark, BENCHMARKS, get_benchmark
+from repro.kernels import atax, bicg, ex14fj, matvec2d  # noqa: F401  (register)
+from repro.kernels import matvec_smem  # noqa: F401  (extension kernel)
+
+__all__ = ["Benchmark", "BENCHMARKS", "get_benchmark"]

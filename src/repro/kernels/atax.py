@@ -1,0 +1,100 @@
+"""atax: y = A^T (A x)  (elementary linear algebra, polybench form).
+
+Two dependent passes, compiled and launched as two kernels (a grid-wide
+dependency cannot be synchronized inside one kernel):
+
+- pass 1 (row-parallel): ``tmp[i] = sum_j A[i*N+j] * x[j]``.  Each thread
+  walks one row of the row-major matrix, so lanes of a warp touch addresses
+  N elements apart (strided) while consecutive iterations of one thread
+  advance by one element -- a cache-line-reuse access that degrades when
+  too many warps are resident.
+- pass 2 (column-parallel): ``y[j] = sum_i A[i*N+j] * tmp[i]``.  Lanes
+  touch consecutive columns (coalesced); each iteration steps one full row
+  (no line reuse).
+
+The parallelism of both passes is only ``N`` (32-512 in the paper's runs),
+which is why large thread counts leave most blocks without work -- the
+mechanism behind atax preferring the lower thread ranges in the paper's
+Fig. 4/Table V.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.codegen import dsl
+from repro.kernels.base import Benchmark, register
+
+N = dsl.sparam("N")
+A = dsl.farray("A")
+x = dsl.farray("x")
+tmp = dsl.farray("tmp")
+y = dsl.farray("y")
+
+_i, _j = dsl.ivars("i", "j")
+_s = dsl.var("s", "f32")
+_ib = dsl.ivar("ib")
+
+ATAX_K1 = dsl.kernel(
+    "atax_k1",
+    params=[N, A, x, tmp],
+    body=[
+        dsl.pfor(_i, N, [
+            dsl.assign("s", dsl.f32(0.0)),
+            dsl.assign("ib", _i * N),
+            dsl.sfor(_j, N, [
+                dsl.assign("s", _s + A[_ib + _j] * x[_j]),
+            ]),
+            tmp.store(_i, _s),
+        ]),
+    ],
+)
+
+ATAX_K2 = dsl.kernel(
+    "atax_k2",
+    params=[N, A, tmp, y],
+    body=[
+        dsl.pfor(_j, N, [
+            dsl.assign("s", dsl.f32(0.0)),
+            dsl.sfor(_i, N, [
+                dsl.assign("s", _s + A[_i * N + _j] * tmp[_i]),
+            ]),
+            y.store(_j, _s),
+        ]),
+    ],
+)
+
+
+def make_inputs(n: int, rng: np.random.Generator) -> dict:
+    a = rng.standard_normal((n, n)).astype(np.float32)
+    xv = rng.standard_normal(n).astype(np.float32)
+    return {
+        "N": n,
+        "A": a.reshape(-1),
+        "x": xv,
+        "tmp": np.zeros(n, dtype=np.float32),
+        "y": np.zeros(n, dtype=np.float32),
+    }
+
+
+def reference(inputs: dict) -> dict:
+    n = inputs["N"]
+    a = inputs["A"].reshape(n, n).astype(np.float64)
+    xv = inputs["x"].astype(np.float64)
+    tmpv = a @ xv
+    yv = a.T @ tmpv
+    return {"tmp": tmpv.astype(np.float32), "y": yv.astype(np.float32)}
+
+
+ATAX = register(
+    Benchmark(
+        name="atax",
+        description="Matrix transpose, vector multiplication: y = A^T(Ax)",
+        specs=(ATAX_K1, ATAX_K2),
+        make_inputs=make_inputs,
+        reference=reference,
+        sizes=(32, 64, 128, 256, 512),
+        param_env=lambda n: {"N": n},
+        output_names=("tmp", "y"),
+    )
+)

@@ -1,0 +1,76 @@
+"""Benchmark registry and the common benchmark interface."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Benchmark:
+    """One tunable benchmark: kernel specs + reference semantics.
+
+    Attributes
+    ----------
+    name:
+        Registry key (paper name, lowercased).
+    specs:
+        Kernel specs launched in sequence (atax and BiCG are two passes).
+    make_inputs:
+        ``f(N, rng) -> dict`` mapping parameter names to NumPy arrays and
+        scalars, including zero-initialized outputs.
+    reference:
+        ``f(inputs) -> dict`` of expected output arrays, NumPy semantics.
+    sizes:
+        The paper's five input sizes for this benchmark.
+    param_env:
+        ``f(N) -> dict`` of scalar parameter bindings used by trip-count
+        evaluation (e.g. ``{"N": N, "NN": N*N}``).
+    output_names:
+        Parameter names holding results (checked against the reference).
+    """
+
+    name: str
+    description: str
+    specs: tuple
+    make_inputs: Callable
+    reference: Callable
+    sizes: tuple
+    param_env: Callable
+    output_names: tuple
+
+    def work_extent(self, n: int) -> int:
+        """Total parallel-loop iterations at size ``n`` (max over kernels)."""
+        from repro.codegen.ast_nodes import evaluate_expr, For
+
+        env = self.param_env(n)
+        worst = 0
+        for spec in self.specs:
+            for s in spec.body:
+                if isinstance(s, For) and s.parallel:
+                    span = int(evaluate_expr(s.upper, env)) - int(
+                        evaluate_expr(s.lower, env)
+                    )
+                    worst = max(worst, span)
+        return worst
+
+
+BENCHMARKS: dict[str, Benchmark] = {}
+
+
+def register(benchmark: Benchmark) -> Benchmark:
+    if benchmark.name in BENCHMARKS:
+        raise ValueError(f"duplicate benchmark {benchmark.name!r}")
+    BENCHMARKS[benchmark.name] = benchmark
+    return benchmark
+
+
+def get_benchmark(name: str) -> Benchmark:
+    key = name.strip().lower()
+    if key not in BENCHMARKS:
+        raise KeyError(
+            f"unknown benchmark {name!r}; available: {sorted(BENCHMARKS)}"
+        )
+    return BENCHMARKS[key]

@@ -1,0 +1,101 @@
+"""BiCG: q = A p and s = A^T r  (the BiCGStab sub-kernel, polybench form).
+
+Two passes, written in the *naive* style an annotation-based translator
+produces from the C loop nest -- the running vector entry is re-read and
+re-written from global memory every inner iteration rather than being kept
+in a register (no scalar replacement):
+
+.. code-block:: c
+
+    /* pass 1, parallel over i */            /* pass 2, parallel over j */
+    for (j = 0; j < N; j++)                  for (i = 0; i < N; i++)
+      q[i] = q[i] + A[i*N+j] * p[j];           s[j] = s[j] + r[i] * A[i*N+j];
+
+The read-modify-write gives BiCG four memory operations per inner
+iteration (A, the vector, and the load+store of the output entry), the
+lowest computational intensity of the four benchmarks -- matching its
+placement in the paper's Table VI -- and a serial per-iteration dependence
+chain.  Parallelism is only ``N``, so BiCG shares atax's preference for the
+lower thread ranges.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.codegen import dsl
+from repro.kernels.base import Benchmark, register
+
+N = dsl.sparam("N")
+A = dsl.farray("A")
+p = dsl.farray("p")
+r = dsl.farray("r")
+q = dsl.farray("q")
+s_arr = dsl.farray("s")
+
+_i, _j = dsl.ivars("i", "j")
+_ib = dsl.ivar("ib")
+
+BICG_K1 = dsl.kernel(
+    "bicg_q",
+    params=[N, A, p, q],
+    body=[
+        dsl.pfor(_i, N, [
+            dsl.assign("ib", _i * N),
+            dsl.sfor(_j, N, [
+                q.store(_i, q[_i] + A[_ib + _j] * p[_j]),
+            ]),
+        ]),
+    ],
+)
+
+BICG_K2 = dsl.kernel(
+    "bicg_s",
+    params=[N, A, r, s_arr],
+    body=[
+        dsl.pfor(_j, N, [
+            dsl.sfor(_i, N, [
+                s_arr.store(_j, s_arr[_j] + r[_i] * A[_i * N + _j]),
+            ]),
+        ]),
+    ],
+)
+
+
+def make_inputs(n: int, rng: np.random.Generator) -> dict:
+    a = rng.standard_normal((n, n)).astype(np.float32)
+    pv = rng.standard_normal(n).astype(np.float32)
+    rv = rng.standard_normal(n).astype(np.float32)
+    return {
+        "N": n,
+        "A": a.reshape(-1),
+        "p": pv,
+        "r": rv,
+        "q": np.zeros(n, dtype=np.float32),
+        "s": np.zeros(n, dtype=np.float32),
+    }
+
+
+def reference(inputs: dict) -> dict:
+    n = inputs["N"]
+    a = inputs["A"].reshape(n, n).astype(np.float64)
+    pv = inputs["p"].astype(np.float64)
+    rv = inputs["r"].astype(np.float64)
+    return {
+        "q": (a @ pv).astype(np.float32),
+        "s": (a.T @ rv).astype(np.float32),
+    }
+
+
+BICG = register(
+    Benchmark(
+        name="bicg",
+        description="BiCGStab sub-kernel: q = Ap, s = A^T r",
+        specs=(BICG_K1, BICG_K2),
+        make_inputs=make_inputs,
+        reference=reference,
+        sizes=(32, 64, 128, 256, 512),
+        param_env=lambda n: {"N": n},
+        output_names=("q", "s"),
+    )
+)

@@ -1,0 +1,140 @@
+"""ex14FJ: Jacobian application for the 3-D solid fuel ignition problem.
+
+The paper's application kernel: "the Jacobian computation for a solid fuel
+ignition simulation in 3D rectangular domain" (the Bratu problem,
+F(x) = A(x)x - b with A(u)v ~= -div(kappa(u) grad v) - lambda e^u v).
+
+One thread per grid point over the flattened N^3 domain.  Boundary points
+copy the input (Dirichlet); interior points evaluate a 7-point variable-
+coefficient stencil plus the nonlinear reaction term with ``exp``.  The
+boundary test is a *divergent branch*: warps straddling the domain surface
+serialize both arms (the effect of the paper's Fig. 1), while deep-interior
+warps take a single path.
+
+The kernel is the most arithmetic-dense of the four (integer
+division/modulo for the 3-D de-flattening, the stencil polynomial, and a
+special-function ``exp``), giving it the highest computational intensity in
+the paper's Table VI -- and with N^3 parallelism it rewards high occupancy,
+i.e. the upper thread ranges.
+
+Note the paper's input sizes for ex14FJ are {8, 16, 32, 64, 128} (the grid
+edge length; the point count is its cube).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.codegen import dsl
+from repro.kernels.base import Benchmark, register
+
+N = dsl.sparam("N")
+NN = dsl.sparam("NN")     # N*N
+NNN = dsl.sparam("NNN")   # N*N*N
+lam = dsl.sparam("lam", "f32")
+u = dsl.farray("u")
+v = dsl.farray("v")
+out = dsl.farray("out")
+
+_n = dsl.ivar("n")
+
+_one = dsl.f32(1.0)
+_two = dsl.f32(2.0)
+
+
+def _boundary_cond():
+    ix = _n % N
+    iy = (_n // N) % N
+    iz = _n // NN
+    edge = lambda c: dsl.either(c.eq(0), c.eq(N - 1))  # noqa: E731
+    return dsl.either(dsl.either(edge(ix), edge(iy)), edge(iz))
+
+
+_hx = dsl.var("hx", "f32")
+_sc = dsl.var("sc", "f32")
+_kap = dsl.var("kap", "f32")
+_lap = dsl.var("lap", "f32")
+_ctr = dsl.var("ctr", "f32")
+
+EX14FJ_K = dsl.kernel(
+    "ex14fj",
+    params=[N, NN, NNN, lam, u, v, out],
+    body=[
+        # mesh spacing and reaction scale, computed once per thread
+        dsl.assign("hx", _one / dsl.to_f32(N - 1)),
+        dsl.assign("sc", lam * _hx * _hx * _hx),
+        dsl.pfor(_n, NNN, [
+            dsl.when(
+                _boundary_cond(),
+                # Dirichlet boundary: pass-through
+                [out.store(_n, v[_n])],
+                # interior: variable-coefficient 7-point stencil + reaction
+                [
+                    dsl.assign("ctr", v[_n]),
+                    dsl.assign("kap", _one + u[_n] * u[_n]),
+                    dsl.assign(
+                        "lap",
+                        (_two * _ctr - v[_n - 1] - v[_n + 1])
+                        + (_two * _ctr - v[_n - N] - v[_n + N])
+                        + (_two * _ctr - v[_n - NN] - v[_n + NN]),
+                    ),
+                    out.store(
+                        _n,
+                        _kap * _lap * _hx - _sc * dsl.exp(u[_n]) * _ctr,
+                    ),
+                ],
+            ),
+        ]),
+    ],
+)
+
+
+def make_inputs(n: int, rng: np.random.Generator) -> dict:
+    pts = n * n * n
+    uv = rng.uniform(0.0, 1.0, pts).astype(np.float32)
+    vv = rng.standard_normal(pts).astype(np.float32)
+    return {
+        "N": n,
+        "NN": n * n,
+        "NNN": pts,
+        "lam": np.float32(6.0),
+        "u": uv,
+        "v": vv,
+        "out": np.zeros(pts, dtype=np.float32),
+    }
+
+
+def reference(inputs: dict) -> dict:
+    n = inputs["N"]
+    uv = inputs["u"].reshape(n, n, n).astype(np.float64)
+    vv = inputs["v"].reshape(n, n, n).astype(np.float64)
+    lam_ = float(inputs["lam"])
+    hx = 1.0 / (n - 1)
+    sc = lam_ * hx * hx * hx
+
+    outv = vv.copy()
+    ctr = vv[1:-1, 1:-1, 1:-1]
+    kap = 1.0 + uv[1:-1, 1:-1, 1:-1] ** 2
+    lap = (
+        (2.0 * ctr - vv[1:-1, 1:-1, :-2] - vv[1:-1, 1:-1, 2:])
+        + (2.0 * ctr - vv[1:-1, :-2, 1:-1] - vv[1:-1, 2:, 1:-1])
+        + (2.0 * ctr - vv[:-2, 1:-1, 1:-1] - vv[2:, 1:-1, 1:-1])
+    )
+    outv[1:-1, 1:-1, 1:-1] = (
+        kap * lap * hx - sc * np.exp(uv[1:-1, 1:-1, 1:-1]) * ctr
+    )
+    return {"out": outv.reshape(-1).astype(np.float32)}
+
+
+EX14FJ = register(
+    Benchmark(
+        name="ex14fj",
+        description="3-D solid fuel ignition Jacobian stencil (Bratu)",
+        specs=(EX14FJ_K,),
+        make_inputs=make_inputs,
+        reference=reference,
+        sizes=(8, 16, 32, 64, 128),
+        param_env=lambda n: {"N": n, "NN": n * n, "NNN": n * n * n},
+        output_names=("out",),
+    )
+)

@@ -1,0 +1,96 @@
+"""Shared-memory-tiled matrix-vector product (extension kernel).
+
+A tiled variant of the row-per-thread matvec: each block stages a
+TILE-element slice of ``x`` in shared memory behind a barrier, then its
+threads stream their rows against the staged tile.  Exercises the parts of
+the substrate the Table IV benchmarks leave cold -- ``__shared__`` arrays,
+``bar.sync``, and shared-memory-limited occupancy -- and demonstrates the
+S* headroom story of Table VII: the tile size directly trades occupancy
+for reuse.
+
+Constraints (documented, asserted by the input generator): the matrix
+order ``N`` must be a multiple of the tile (128), and the launch must use
+``TC`` a multiple of 128 with ``TC * BC == N`` so that every thread of a
+block reaches each ``bar.sync`` exactly once.  Registered as benchmark
+``matvec_smem``; not part of the paper's kernel set, so experiments
+exclude it by default.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.codegen import dsl
+from repro.codegen.ast_nodes import Load, Store
+from repro.kernels.base import Benchmark, register
+from repro.ptx.isa import DType
+
+TILE = 128
+
+N = dsl.sparam("N")
+A = dsl.farray("A")
+x = dsl.farray("x")
+y = dsl.farray("y")
+
+_i, _j, _t = dsl.ivars("i", "j", "t")
+_s = dsl.var("s", "f32")
+_lane = dsl.ivar("lane")
+
+MATVEC_SMEM_K = dsl.kernel(
+    "matvec_smem",
+    params=[N, A, x, y],
+    body=[
+        dsl.pfor(_i, N, [
+            dsl.assign("s", dsl.f32(0.0)),
+            dsl.assign("lane", _i % TILE),
+            dsl.sfor(_t, N // TILE, [
+                # stage one tile of x cooperatively, then synchronize
+                Store("xs", _lane, x[_t * TILE + _lane]),
+                dsl.sync(),
+                dsl.sfor(_j, TILE, [
+                    dsl.assign(
+                        "s",
+                        _s + A[_i * N + _t * TILE + _j]
+                        * Load("xs", _j, DType.F32),
+                    ),
+                ]),
+                dsl.sync(),
+            ]),
+            y.store(_i, _s),
+        ]),
+    ],
+    smem_arrays=(("xs", TILE, DType.F32),),
+)
+
+
+def make_inputs(n: int, rng: np.random.Generator) -> dict:
+    if n % TILE:
+        raise ValueError(f"matvec_smem requires N % {TILE} == 0, got {n}")
+    a = rng.standard_normal((n, n)).astype(np.float32)
+    xv = rng.standard_normal(n).astype(np.float32)
+    return {
+        "N": n,
+        "A": a.reshape(-1),
+        "x": xv,
+        "y": np.zeros(n, dtype=np.float32),
+    }
+
+
+def reference(inputs: dict) -> dict:
+    n = inputs["N"]
+    a = inputs["A"].reshape(n, n).astype(np.float64)
+    return {"y": (a @ inputs["x"].astype(np.float64)).astype(np.float32)}
+
+
+MATVEC_SMEM = register(
+    Benchmark(
+        name="matvec_smem",
+        description="shared-memory-tiled y = Ax (extension kernel)",
+        specs=(MATVEC_SMEM_K,),
+        make_inputs=make_inputs,
+        reference=reference,
+        sizes=(128, 256, 384, 512, 640),
+        param_env=lambda n: {"N": n},
+        output_names=("y",),
+    )
+)

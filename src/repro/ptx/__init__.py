@@ -1,0 +1,77 @@
+"""A PTX-like virtual instruction set and IR.
+
+This subpackage stands in for the artifacts the paper's static analyzer
+consumes from the NVIDIA toolchain: the instruction stream recovered with
+``nvdisasm`` and the compile-time resource report from
+``nvcc --ptxas-options=-v``.
+
+Contents
+--------
+- :mod:`repro.ptx.isa` -- opcodes, data types, memory spaces, and the mapping
+  from opcodes to the paper's Table II instruction categories.
+- :mod:`repro.ptx.instruction` -- operands and the :class:`Instruction` type.
+- :mod:`repro.ptx.module` -- :class:`KernelIR` (one kernel's code + resource
+  usage) and :class:`PTXModule` (a compilation unit).
+- :mod:`repro.ptx.printer` / :mod:`repro.ptx.parser` -- round-trippable
+  textual assembly (the "disassembler" view).
+- :mod:`repro.ptx.cfg` -- basic blocks, control-flow graph, dominators,
+  post-dominators, natural loops, divergence-relevant branches.
+- :mod:`repro.ptx.verifier` -- structural well-formedness checks.
+"""
+
+from repro.ptx.isa import (
+    Opcode,
+    DType,
+    MemSpace,
+    CmpOp,
+    SRegKind,
+    categorize,
+    opcode_category,
+)
+from repro.ptx.instruction import (
+    Reg,
+    Imm,
+    SReg,
+    ParamRef,
+    MemRef,
+    LabelRef,
+    Instruction,
+    Label,
+)
+from repro.ptx.module import KernelIR, PTXModule, KernelParam
+from repro.ptx.printer import print_kernel, print_module, format_instruction
+from repro.ptx.parser import parse_module, parse_kernel, ParseError
+from repro.ptx.cfg import CFG, BasicBlock, build_cfg
+from repro.ptx.verifier import verify_kernel, VerificationError
+
+__all__ = [
+    "Opcode",
+    "DType",
+    "MemSpace",
+    "CmpOp",
+    "SRegKind",
+    "categorize",
+    "opcode_category",
+    "Reg",
+    "Imm",
+    "SReg",
+    "ParamRef",
+    "MemRef",
+    "LabelRef",
+    "Instruction",
+    "Label",
+    "KernelIR",
+    "PTXModule",
+    "KernelParam",
+    "print_kernel",
+    "print_module",
+    "format_instruction",
+    "parse_module",
+    "parse_kernel",
+    "ParseError",
+    "CFG",
+    "BasicBlock",
+    "build_cfg",
+    "verify_kernel",
+    "VerificationError",
+]

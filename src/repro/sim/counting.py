@@ -1,0 +1,179 @@
+"""Closed-form exact dynamic instruction counts.
+
+Evaluates a compiled kernel's region tree with *exact* multiplicities:
+
+- grid-stride parallel loops execute each iteration exactly once across the
+  grid;
+- sequential loop trip counts come from their bound expressions;
+- branch fractions are computed by evaluating the branch condition,
+  vectorized with NumPy, over the full iteration domain of the enclosing
+  loops (e.g. the ex14FJ boundary predicate over all N^3 points).
+
+The results agree with the warp emulator (asserted in tests) but cost
+microseconds at any problem size, which is what lets the timing model stand
+in for 5,120-variant empirical sweeps.
+
+Restriction: branch conditions must be expressions over loop variables and
+kernel scalar parameters (data-dependent branches would need real
+emulation).  All Table IV benchmarks satisfy this.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.codegen.ast_nodes import evaluate_expr, evaluate_expr_numpy
+from repro.codegen.compiler import CompiledKernel
+from repro.codegen.regions import DynamicCounts, Region, evaluate_region_tree
+
+#: evaluate branch domains in chunks of this many points to bound memory
+_CHUNK = 1 << 20
+
+
+def _domain_axes(loop_stack: list, env: dict) -> list[np.ndarray]:
+    axes = []
+    for region in loop_stack:
+        lo = int(evaluate_expr(region.lower, env))
+        hi = int(evaluate_expr(region.upper, env))
+        axes.append(np.arange(lo, hi, region.step, dtype=np.int64))
+    return axes
+
+
+def exact_branch_fraction(region: Region, env: dict, loop_stack: list) -> float:
+    """Exact execution fraction of one branch arm over its loop domain.
+
+    For a THEN region this is the probability that the condition holds;
+    for an ELSE region, its complement.
+    """
+    from repro.codegen.regions import RegionKind
+
+    f = _cond_fraction(region, env, loop_stack)
+    if region.kind is RegionKind.ELSE:
+        return 1.0 - f
+    return f
+
+
+def _cond_fraction(region: Region, env: dict, loop_stack: list) -> float:
+    """Exact probability that ``region.cond`` holds over its loop domain."""
+    if region.cond is None:
+        raise ValueError(f"region {region.id} has no branch condition")
+    axes = _domain_axes(loop_stack, env)
+    if not axes:
+        # condition over parameters only: 0 or 1
+        return 1.0 if bool(evaluate_expr(region.cond, env)) else 0.0
+    total = int(np.prod([a.size for a in axes]))
+    if total == 0:
+        return 0.0
+
+    names = [r.loop_var for r in loop_stack]
+    taken = 0
+    # iterate over the outer axes' cartesian product in chunks of the
+    # innermost axis (inner domains are the large ones in our kernels)
+    if len(axes) == 1:
+        arr = axes[0]
+        for start in range(0, arr.size, _CHUNK):
+            chunk = arr[start:start + _CHUNK]
+            bind = dict(env)
+            bind[names[0]] = chunk
+            taken += int(np.count_nonzero(
+                evaluate_expr_numpy(region.cond, bind)
+            ))
+    else:
+        import itertools
+
+        outer = itertools.product(*[a.tolist() for a in axes[:-1]])
+        inner = axes[-1]
+        for combo in outer:
+            bind = dict(env)
+            for nm, v in zip(names[:-1], combo):
+                bind[nm] = np.int64(v)
+            bind[names[-1]] = inner
+            res = evaluate_expr_numpy(region.cond, bind)
+            taken += int(np.count_nonzero(res))
+    return taken / total
+
+
+def warp_branch_fraction(region: Region, env: dict, loop_stack: list) -> float:
+    """Fraction of *warps* that execute a branch arm.
+
+    A warp issues an arm's instructions if any of its 32 lanes takes it, so
+    the warp-level multiplicity is ``min(1, 32 f)`` of the arm's own
+    thread-level fraction in the well-mixed case -- the serialization
+    overhead divergence costs (paper Fig. 1).
+    """
+    f = exact_branch_fraction(region, env, loop_stack)
+    return min(1.0, 32.0 * f)
+
+
+_count_cache: dict = {}
+"""Memo: (id-keyed kernel, env, warp_level) -> (eval@T=0, eval@T=1).
+
+Counts are affine in the launched thread count T (only the ROOT region
+scales with T; the parallel loop executes a fixed M iterations), so two
+evaluations determine every launch configuration.  This is what makes
+5,120-variant sweeps cheap: the expensive part (vectorized branch-domain
+evaluation for e.g. ex14FJ's N^3 boundary predicate) runs once per
+(kernel, size) instead of once per variant.
+"""
+
+
+def _env_key(env: dict) -> tuple:
+    return tuple(sorted((k, float(v)) for k, v in env.items()))
+
+
+def _combine(at0: DynamicCounts, at1: DynamicCounts,
+             threads: int) -> DynamicCounts:
+    """Affine reconstruction: counts(T) = at0 + T * (at1 - at0)."""
+    cats = set(at0.by_category) | set(at1.by_category)
+    by_cat = {}
+    for c in cats:
+        a = at0.by_category.get(c, 0.0)
+        b = at1.by_category.get(c, 0.0)
+        by_cat[c] = a + threads * (b - a)
+    traffic = tuple(
+        (acc0, n0 + threads * (n1 - n0))
+        for (acc0, n0), (_acc1, n1) in zip(at0.mem_traffic, at1.mem_traffic)
+    )
+    return DynamicCounts(
+        by_category=by_cat,
+        reg_ops=at0.reg_ops + threads * (at1.reg_ops - at0.reg_ops),
+        mem_transactions=at0.mem_transactions
+        + threads * (at1.mem_transactions - at0.mem_transactions),
+        dram_bytes=at0.dram_bytes
+        + threads * (at1.dram_bytes - at0.dram_bytes),
+        total_threads=threads,
+        mem_traffic=traffic,
+    )
+
+
+def exact_counts(
+    ck: CompiledKernel,
+    env: dict,
+    tc: int,
+    bc: int,
+    warp_level: bool = False,
+) -> DynamicCounts:
+    """Exact dynamic counts for launching ``ck`` with (tc, bc) on ``env``.
+
+    With ``warp_level=True`` branch arms use warp-issue multiplicities
+    (divergence makes warps pay for both arms); category totals then
+    represent thread-slots issued, i.e. ``counts / 32`` is the warp-issue
+    count.
+    """
+    frac = warp_branch_fraction if warp_level else exact_branch_fraction
+    key = (id(ck), _env_key(env), warp_level)
+    cached = _count_cache.get(key)
+    if cached is None or cached[0]() is not ck:
+        import weakref
+
+        at0 = evaluate_region_tree(
+            ck.root_region, env, total_threads=0, branch_fraction=frac
+        )
+        at1 = evaluate_region_tree(
+            ck.root_region, env, total_threads=1, branch_fraction=frac
+        )
+        cached = (weakref.ref(ck), at0, at1)
+        if len(_count_cache) > 4096:
+            _count_cache.clear()
+        _count_cache[key] = cached
+    return _combine(cached[1], cached[2], tc * bc)

@@ -1,0 +1,550 @@
+"""Warp-level SIMT functional emulator.
+
+Executes compiled kernels exactly as a streaming multiprocessor would at
+warp granularity: 32 lanes in lockstep, per-lane guard predicates, and a
+reconvergence stack that serializes divergent branch arms and rejoins at
+the immediate post-dominator of the branch block (the paper's Fig. 1
+behaviour).
+
+The emulator serves three purposes:
+
+1. *correctness*: compiled kernels are validated against the NumPy
+   reference implementations of each benchmark;
+2. *ground truth*: per-category dynamic instruction counts (thread-level
+   and warp-issue-level) back-validate the closed-form counting model in
+   :mod:`repro.sim.counting`;
+3. *divergence measurement*: warp issues with partially-filled masks
+   quantify the serialization loss the static divergence analysis predicts.
+
+It is a functional simulator, not a timing simulator -- cycle estimates
+come from :mod:`repro.sim.timing`.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.arch.throughput import InstrCategory
+from repro.codegen.compiler import CompiledKernel, CompiledModule
+from repro.ptx.cfg import CFG, EXIT, build_cfg
+from repro.ptx.instruction import (
+    Imm,
+    Instruction,
+    MemRef,
+    ParamRef,
+    Reg,
+    SReg,
+)
+from repro.ptx.isa import CmpOp, DType, MemSpace, Opcode, SRegKind
+from repro.sim.memory import DeviceMemory
+
+WARP = 32
+
+_NP_DTYPE = {
+    DType.F32: np.float32,
+    DType.F64: np.float64,
+    DType.S32: np.int32,
+    DType.U32: np.uint32,
+    DType.S64: np.int64,
+    DType.PRED: np.bool_,
+}
+
+
+class EmulationError(RuntimeError):
+    """Raised when a kernel misbehaves under emulation."""
+
+
+@dataclass
+class EmulationResult:
+    """Dynamic behaviour of one kernel launch."""
+
+    thread_counts: Counter = field(default_factory=Counter)
+    """Executed instructions per category, summed over active lanes."""
+
+    warp_issues: Counter = field(default_factory=Counter)
+    """Warp-level instruction issues per category (each issue once)."""
+
+    reg_ops: int = 0
+    """Register-operand traffic summed over active lanes."""
+
+    divergent_branches: int = 0
+    """Conditional branches where lanes of one warp went both ways."""
+
+    branch_count: int = 0
+    """Conditional branches executed (warp level)."""
+
+    partial_issues: int = 0
+    """Warp issues with fewer than 32 active lanes."""
+
+    total_issues: int = 0
+
+    @property
+    def total_thread_instructions(self) -> int:
+        return sum(self.thread_counts.values())
+
+    @property
+    def simd_efficiency(self) -> float:
+        """Mean active lanes per issue / 32 (1.0 = no divergence loss)."""
+        if self.total_issues == 0:
+            return 1.0
+        return self.total_thread_instructions / (self.total_issues * WARP)
+
+    def merge(self, other: "EmulationResult") -> None:
+        self.thread_counts.update(other.thread_counts)
+        self.warp_issues.update(other.warp_issues)
+        self.reg_ops += other.reg_ops
+        self.divergent_branches += other.divergent_branches
+        self.branch_count += other.branch_count
+        self.partial_issues += other.partial_issues
+        self.total_issues += other.total_issues
+
+
+def _trunc_div(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """C-style truncating integer division, safe under zero divisors."""
+    bz = b == 0
+    bb = np.where(bz, 1, b)
+    q = np.floor_divide(a, bb)
+    rem = a - q * bb
+    # floor -> trunc correction for mixed signs
+    q = q + ((rem != 0) & ((a < 0) != (b < 0)))
+    return np.where(bz, 0, q).astype(a.dtype, copy=False)
+
+
+class _Warp:
+    """Execution state of one warp."""
+
+    def __init__(self, emu: "_KernelRun", warp_id: int, block_id: int):
+        self.emu = emu
+        self.lane = np.arange(WARP, dtype=np.int32)
+        self.tid = warp_id * WARP + self.lane  # thread index within block
+        self.block_id = block_id
+        self.regs: dict[str, np.ndarray] = {}
+        self.exited = np.zeros(WARP, dtype=bool)
+        # lanes beyond blockDim are never launched
+        self.exited[self.tid >= emu.tc] = True
+
+    # -- register access ---------------------------------------------------
+
+    def read(self, op, want: DType | None = None) -> np.ndarray:
+        if isinstance(op, Reg):
+            if op.name not in self.regs:
+                raise EmulationError(f"read of undefined register {op.name}")
+            return self.regs[op.name]
+        if isinstance(op, Imm):
+            dt = _NP_DTYPE[op.dtype]
+            return np.full(WARP, op.value, dtype=dt)
+        if isinstance(op, SReg):
+            return self._sreg(op.kind)
+        raise EmulationError(f"cannot read operand {op!r}")
+
+    def _sreg(self, kind: SRegKind) -> np.ndarray:
+        emu = self.emu
+        if kind is SRegKind.TID_X:
+            return self.tid.astype(np.int32)
+        if kind is SRegKind.NTID_X:
+            return np.full(WARP, emu.tc, dtype=np.int32)
+        if kind is SRegKind.CTAID_X:
+            return np.full(WARP, self.block_id, dtype=np.int32)
+        if kind is SRegKind.NCTAID_X:
+            return np.full(WARP, emu.bc, dtype=np.int32)
+        if kind is SRegKind.LANEID:
+            return self.lane.copy()
+        raise EmulationError(f"special register {kind} not modelled")
+
+    def write(self, reg: Reg, value: np.ndarray, mask: np.ndarray) -> None:
+        dt = _NP_DTYPE[reg.dtype]
+        if reg.name not in self.regs:
+            self.regs[reg.name] = np.zeros(WARP, dtype=dt)
+        self.regs[reg.name][mask] = value.astype(dt, copy=False)[mask]
+
+
+class _KernelRun:
+    """One kernel launch being emulated."""
+
+    def __init__(self, ck: CompiledKernel, params: dict, tc: int, bc: int,
+                 memory: DeviceMemory):
+        self.ck = ck
+        self.tc = tc
+        self.bc = bc
+        self.memory = memory
+        self.result = EmulationResult()
+
+        self.cfg: CFG = build_cfg(ck.ir)
+        self.ipdom = self.cfg.immediate_post_dominators()
+        self.entry = self.cfg.entry_block
+        self._block_order = list(self.cfg.blocks)
+        self._next_of = {}
+        for i, name in enumerate(self._block_order):
+            self._next_of[name] = (
+                self._block_order[i + 1] if i + 1 < len(self._block_order)
+                else None
+            )
+
+        # resolve parameters
+        self.param_values: dict[str, np.ndarray] = {}
+        for p in ck.ir.params:
+            if p.name not in params:
+                raise EmulationError(f"missing kernel argument {p.name!r}")
+            v = params[p.name]
+            if p.is_pointer:
+                alloc = memory.allocation(p.name)
+                self.param_values[p.name] = np.full(
+                    WARP, alloc.base, dtype=np.int64
+                )
+            else:
+                dt = _NP_DTYPE[p.dtype]
+                self.param_values[p.name] = np.full(WARP, v, dtype=dt)
+
+        self.smem_bytes = ck.ir.static_smem_bytes
+
+    # -- whole-launch driver -------------------------------------------
+
+    def run(self, max_issues_per_warp: int = 5_000_000) -> EmulationResult:
+        warps_per_block = -(-self.tc // WARP)
+        has_bar = any(
+            isinstance(it, Instruction) and it.opcode is Opcode.BAR
+            for it in self.ck.ir.body
+        )
+        for block_id in range(self.bc):
+            smem = (
+                np.zeros(self.smem_bytes, dtype=np.uint8)
+                if self.smem_bytes else None
+            )
+            runners = [
+                self._warp_runner(_Warp(self, w, block_id), smem,
+                                  max_issues_per_warp)
+                for w in range(warps_per_block)
+            ]
+            if not has_bar:
+                for r in runners:
+                    for _ in r:
+                        raise EmulationError(
+                            "barrier yielded by kernel without bar.sync"
+                        )
+            else:
+                live = list(runners)
+                while live:
+                    nxt = []
+                    for r in live:
+                        try:
+                            next(r)
+                            nxt.append(r)  # hit a barrier; resume next round
+                        except StopIteration:
+                            pass
+                    if nxt and len(nxt) != len(live):
+                        # warps must all reach the same barrier
+                        raise EmulationError(
+                            "divergent bar.sync: some warps finished while "
+                            "others wait at a barrier"
+                        )
+                    live = nxt
+        return self.result
+
+    # -- per-warp SIMT execution -----------------------------------------
+
+    def _warp_runner(self, warp: _Warp, smem, max_issues: int):
+        """Generator: executes one warp, yielding at each bar.sync."""
+        full = ~warp.exited
+        if not full.any():
+            return
+        issues = 0
+        # stack of (block, mask, reconv)
+        stack: list[tuple[str, np.ndarray, str | None]] = [
+            (self.entry, full.copy(), None)
+        ]
+        while stack:
+            block, mask, reconv = stack.pop()
+            while True:
+                mask = mask & ~warp.exited
+                if not mask.any():
+                    break
+                blk = self.cfg.blocks[block]
+                branch_taken = None
+                for ins in blk.instructions:
+                    issues += 1
+                    if issues > max_issues:
+                        raise EmulationError(
+                            f"warp exceeded {max_issues} issues in "
+                            f"{self.ck.name} (runaway loop?)"
+                        )
+                    base = mask & ~warp.exited
+                    em = base
+                    if ins.pred is not None:
+                        pv = warp.read(ins.pred).astype(bool)
+                        em = em & (~pv if ins.pred_negated else pv)
+                    # counting uses the region mask (`base`): a predicated-
+                    # off instruction still occupies its issue slot for the
+                    # lane, matching the region model's accounting
+                    self._count(ins, base)
+                    if ins.opcode is Opcode.BRA:
+                        branch_taken = em.copy()
+                        continue
+                    if ins.opcode is Opcode.BAR:
+                        yield "bar"
+                        continue
+                    if ins.opcode in (Opcode.EXIT, Opcode.RET):
+                        warp.exited |= em
+                        continue
+                    if not em.any():
+                        continue
+                    self._execute(warp, ins, em, smem)
+
+                # decide successor(s)
+                mask = mask & ~warp.exited
+                if not mask.any():
+                    break
+                term = blk.terminator
+                if term is None or term.opcode in (Opcode.EXIT, Opcode.RET):
+                    nxt = self._next_of[block] if term is None else None
+                    if term is None and nxt is not None:
+                        block = nxt
+                        if block == reconv:
+                            break
+                        continue
+                    break
+                # branch terminator
+                target = term.branch_target
+                fall = self._next_of[block]
+                if term.pred is None:
+                    block = target
+                    if block == reconv:
+                        break
+                    continue
+                taken = branch_taken & mask
+                ntaken = mask & ~taken
+                self.result.branch_count += 1
+                if not ntaken.any():
+                    block = target
+                elif not taken.any():
+                    if fall is None:
+                        break
+                    block = fall
+                else:
+                    # true divergence: serialize via reconvergence stack
+                    self.result.divergent_branches += 1
+                    ipd = self.ipdom.get(block, EXIT)
+                    if ipd != EXIT and ipd != reconv:
+                        stack.append((ipd, mask.copy(), reconv))
+                    if fall is not None:
+                        stack.append((fall, ntaken, ipd))
+                    stack.append((target, taken, ipd))
+                    break
+                if block == reconv or block == EXIT:
+                    break
+
+    # -- instruction semantics -------------------------------------------
+
+    def _count(self, ins: Instruction, em: np.ndarray) -> None:
+        cat = ins.category
+        res = self.result
+        res.warp_issues[cat] += 1
+        res.total_issues += 1
+        n = int(em.sum())
+        res.thread_counts[cat] += n
+        res.reg_ops += ins.register_operand_count() * n
+        if n and n < WARP:
+            res.partial_issues += 1
+
+    def _execute(self, warp: _Warp, ins: Instruction, em: np.ndarray,
+                 smem) -> None:
+        op = ins.opcode
+
+        if op is Opcode.LD:
+            src = ins.srcs[0]
+            if isinstance(src, ParamRef):
+                warp.write(ins.dst, self.param_values[src.name], em)
+                return
+            addrs = warp.read(src.base).astype(np.int64) + src.offset
+            if ins.space is MemSpace.SHARED:
+                val = self._smem_gather(smem, addrs, em, ins.dtype)
+            else:
+                val = self.memory.gather(addrs, em, ins.dtype)
+            warp.write(ins.dst, val, em)
+            return
+
+        if op in (Opcode.ST, Opcode.RED):
+            mem, vop = ins.srcs
+            addrs = warp.read(mem.base).astype(np.int64) + mem.offset
+            vals = warp.read(vop)
+            if ins.space is MemSpace.SHARED:
+                self._smem_scatter(smem, addrs, em, vals, ins.dtype,
+                                   add=op is Opcode.RED)
+            elif op is Opcode.RED:
+                self.memory.scatter_add(addrs, em, vals, ins.dtype)
+            else:
+                self.memory.scatter(addrs, em, vals, ins.dtype)
+            return
+
+        if op is Opcode.MOV:
+            warp.write(ins.dst, warp.read(ins.srcs[0]), em)
+            return
+
+        if op is Opcode.SETP:
+            a = warp.read(ins.srcs[0])
+            b = warp.read(ins.srcs[1])
+            res = {
+                CmpOp.LT: a < b, CmpOp.LE: a <= b, CmpOp.GT: a > b,
+                CmpOp.GE: a >= b, CmpOp.EQ: a == b, CmpOp.NE: a != b,
+            }[ins.cmp]
+            warp.write(ins.dst, res, em)
+            return
+
+        if op is Opcode.SELP:
+            a, b, p = (warp.read(s) for s in ins.srcs)
+            warp.write(ins.dst, np.where(p.astype(bool), a, b), em)
+            return
+
+        if op is Opcode.CVT:
+            v = warp.read(ins.srcs[0])
+            warp.write(ins.dst, v.astype(_NP_DTYPE[ins.dtype]), em)
+            return
+
+        if op is Opcode.MULWIDE:
+            a = warp.read(ins.srcs[0]).astype(np.int64)
+            b = warp.read(ins.srcs[1]).astype(np.int64)
+            warp.write(ins.dst, a * b, em)
+            return
+
+        # arithmetic / logic with uniform handling
+        srcs = [warp.read(s) for s in ins.srcs]
+        dt = _NP_DTYPE[ins.dtype] if ins.dtype else None
+        with np.errstate(all="ignore"):
+            val = self._arith(op, ins, srcs, dt)
+        warp.write(ins.dst, val, em)
+
+    @staticmethod
+    def _arith(op: Opcode, ins: Instruction, srcs: list, dt) -> np.ndarray:
+        a = srcs[0] if srcs else None
+        b = srcs[1] if len(srcs) > 1 else None
+        c = srcs[2] if len(srcs) > 2 else None
+        if op is Opcode.ADD:
+            return a + b
+        if op is Opcode.SUB:
+            return a - b
+        if op is Opcode.MUL:
+            return a * b
+        if op in (Opcode.MAD, Opcode.FMA):
+            return a * b + c
+        if op is Opcode.DIV:
+            if ins.dtype.is_float:
+                return a / b
+            return _trunc_div(a, b)
+        if op is Opcode.NEG:
+            return -a
+        if op is Opcode.ABS:
+            return np.abs(a)
+        if op is Opcode.MIN:
+            return np.minimum(a, b)
+        if op is Opcode.MAX:
+            return np.maximum(a, b)
+        if op is Opcode.AND:
+            return a & b
+        if op is Opcode.OR:
+            return a | b
+        if op is Opcode.XOR:
+            return a ^ b
+        if op is Opcode.NOT:
+            return ~a if a.dtype != np.bool_ else ~a
+        if op is Opcode.SHL:
+            return a << b.astype(a.dtype)
+        if op is Opcode.SHR:
+            return a >> b.astype(a.dtype)
+        if op is Opcode.RCP:
+            return (1.0 / a).astype(dt)
+        if op is Opcode.SQRT:
+            return np.sqrt(a).astype(dt)
+        if op is Opcode.RSQRT:
+            return (1.0 / np.sqrt(a)).astype(dt)
+        if op is Opcode.EX2:
+            return np.exp2(a).astype(dt)
+        if op is Opcode.LG2:
+            return np.log2(a).astype(dt)
+        if op is Opcode.SIN:
+            return np.sin(a).astype(dt)
+        if op is Opcode.COS:
+            return np.cos(a).astype(dt)
+        raise EmulationError(f"unimplemented opcode {op}")
+
+    # -- shared memory -----------------------------------------------------
+
+    @staticmethod
+    def _smem_gather(smem, addrs, em, dtype: DType) -> np.ndarray:
+        np_dt = _NP_DTYPE[dtype]
+        out = np.zeros(WARP, dtype=np_dt)
+        if smem is None:
+            raise EmulationError("shared access without shared memory")
+        view = smem.view(np_dt)
+        idx = (addrs[em] // dtype.nbytes).astype(np.int64)
+        if (idx < 0).any() or (idx >= view.size).any():
+            raise EmulationError("shared memory access out of bounds")
+        out[em] = view[idx]
+        return out
+
+    @staticmethod
+    def _smem_scatter(smem, addrs, em, vals, dtype: DType, add: bool) -> None:
+        np_dt = _NP_DTYPE[dtype]
+        if smem is None:
+            raise EmulationError("shared access without shared memory")
+        view = smem.view(np_dt)
+        idx = (addrs[em] // dtype.nbytes).astype(np.int64)
+        if (idx < 0).any() or (idx >= view.size).any():
+            raise EmulationError("shared memory store out of bounds")
+        if add:
+            np.add.at(view, idx, vals[em].astype(np_dt))
+        else:
+            view[idx] = vals[em].astype(np_dt)
+
+
+def emulate_kernel(
+    ck: CompiledKernel,
+    inputs: dict,
+    tc: int,
+    bc: int,
+    memory: DeviceMemory | None = None,
+) -> tuple[EmulationResult, DeviceMemory]:
+    """Run one compiled kernel on ``inputs``.
+
+    Array inputs are copied into (or reused from) ``memory``; outputs are
+    read back from the allocations after the run.  Returns the dynamic
+    behaviour record and the device memory (for chaining multi-kernel
+    benchmarks).
+    """
+    if tc <= 0 or bc <= 0:
+        raise ValueError("tc and bc must be positive")
+    if memory is None:
+        memory = DeviceMemory()
+        for p in ck.ir.params:
+            if p.is_pointer:
+                memory.alloc(p.name, np.asarray(inputs[p.name]).copy())
+    run = _KernelRun(ck, inputs, tc, bc, memory)
+    result = run.run()
+    return result, memory
+
+
+def run_benchmark_emulated(
+    module: CompiledModule,
+    inputs: dict,
+    tc: int,
+    bc: int,
+) -> tuple[dict, EmulationResult]:
+    """Emulate all kernels of a benchmark in order on shared device memory.
+
+    Returns (outputs dict with every array parameter's final contents,
+    merged EmulationResult).
+    """
+    memory = DeviceMemory()
+    seen: set[str] = set()
+    for ck in module:
+        for p in ck.ir.params:
+            if p.is_pointer and p.name not in seen:
+                memory.alloc(p.name, np.asarray(inputs[p.name]).copy())
+                seen.add(p.name)
+    total = EmulationResult()
+    for ck in module:
+        res, _ = emulate_kernel(ck, inputs, tc, bc, memory)
+        total.merge(res)
+    outputs = {name: memory.allocation(name).data for name in seen}
+    return outputs, total

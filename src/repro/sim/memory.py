@@ -1,0 +1,157 @@
+"""Device memory for the functional emulator.
+
+A flat 64-bit address space in which each kernel argument array receives an
+aligned allocation.  Loads/stores are vectorized gathers/scatters over
+32-lane address vectors, with bounds and alignment checking -- an
+out-of-bounds lane is a codegen bug and raises immediately with a
+diagnostic, rather than silently corrupting another buffer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ptx.isa import DType
+
+_NP_DTYPE = {
+    DType.F32: np.float32,
+    DType.F64: np.float64,
+    DType.S32: np.int32,
+    DType.U32: np.uint32,
+    DType.S64: np.int64,
+}
+
+
+class MemoryError_(RuntimeError):
+    """Raised on out-of-bounds or misaligned device accesses."""
+
+
+@dataclass
+class DeviceAllocation:
+    """One array living in the emulated global address space."""
+
+    name: str
+    base: int
+    data: np.ndarray  # 1-D
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.data.nbytes)
+
+    @property
+    def end(self) -> int:
+        return self.base + self.nbytes
+
+    @property
+    def elem_size(self) -> int:
+        return int(self.data.itemsize)
+
+
+class DeviceMemory:
+    """The emulated device: allocations plus vectorized access."""
+
+    BASE = 0x1000_0000
+    ALIGN = 256
+
+    def __init__(self) -> None:
+        self._allocs: list[DeviceAllocation] = []
+        self._next = self.BASE
+
+    def alloc(self, name: str, array: np.ndarray) -> DeviceAllocation:
+        """Register ``array`` (1-D) as a device buffer; returns allocation."""
+        arr = np.ascontiguousarray(array)
+        if arr.ndim != 1:
+            raise ValueError(f"device arrays must be 1-D, got {arr.ndim}-D")
+        alloc = DeviceAllocation(name=name, base=self._next, data=arr)
+        self._allocs.append(alloc)
+        size = max(arr.nbytes, 1)
+        self._next += ((size + self.ALIGN - 1) // self.ALIGN) * self.ALIGN
+        return alloc
+
+    def allocation(self, name: str) -> DeviceAllocation:
+        for a in self._allocs:
+            if a.name == name:
+                return a
+        raise KeyError(f"no device allocation named {name!r}")
+
+    # -- vectorized access -------------------------------------------------
+
+    def _locate(self, addrs: np.ndarray, mask: np.ndarray,
+                elem_bytes: int) -> tuple[DeviceAllocation, np.ndarray]:
+        """Find the allocation containing every active address.
+
+        All active lanes of one instruction must target one allocation
+        (kernel arguments never alias in our benchmarks); mixed targets
+        indicate a codegen bug.
+        """
+        active = np.flatnonzero(mask)
+        if active.size == 0:
+            raise MemoryError_("access with empty mask")
+        first = int(addrs[active[0]])
+        alloc = None
+        for a in self._allocs:
+            if a.base <= first < a.end:
+                alloc = a
+                break
+        if alloc is None:
+            raise MemoryError_(
+                f"address {first:#x} is outside every allocation"
+            )
+        act_addrs = addrs[active]
+        if (act_addrs < alloc.base).any() or (
+            act_addrs + elem_bytes > alloc.end
+        ).any():
+            bad = act_addrs[
+                (act_addrs < alloc.base) | (act_addrs + elem_bytes > alloc.end)
+            ][0]
+            raise MemoryError_(
+                f"out-of-bounds access at {int(bad):#x} relative to "
+                f"{alloc.name!r} [{alloc.base:#x}, {alloc.end:#x})"
+            )
+        offsets = act_addrs - alloc.base
+        if (offsets % elem_bytes).any():
+            raise MemoryError_(
+                f"misaligned {elem_bytes}-byte access into {alloc.name!r}"
+            )
+        return alloc, active
+
+    def gather(self, addrs: np.ndarray, mask: np.ndarray,
+               dtype: DType) -> np.ndarray:
+        """Load one element per active lane; inactive lanes read 0."""
+        np_dt = _NP_DTYPE[dtype]
+        out = np.zeros(addrs.shape, dtype=np_dt)
+        if not mask.any():
+            return out
+        alloc, active = self._locate(addrs, mask, dtype.nbytes)
+        idx = (addrs[active] - alloc.base) // dtype.nbytes
+        view = alloc.data.view(np_dt) if alloc.data.dtype != np_dt else alloc.data
+        out[active] = view[idx]
+        return out
+
+    def scatter(self, addrs: np.ndarray, mask: np.ndarray,
+                values: np.ndarray, dtype: DType) -> None:
+        """Store one element per active lane.
+
+        Lanes targeting the same address are resolved in lane order (the
+        hardware guarantees *some* lane wins; tests avoid relying on which).
+        """
+        if not mask.any():
+            return
+        np_dt = _NP_DTYPE[dtype]
+        alloc, active = self._locate(addrs, mask, dtype.nbytes)
+        idx = (addrs[active] - alloc.base) // dtype.nbytes
+        view = alloc.data.view(np_dt) if alloc.data.dtype != np_dt else alloc.data
+        view[idx] = values[active].astype(np_dt)
+
+    def scatter_add(self, addrs: np.ndarray, mask: np.ndarray,
+                    values: np.ndarray, dtype: DType) -> None:
+        """Atomic reduction add: duplicate addresses accumulate correctly."""
+        if not mask.any():
+            return
+        np_dt = _NP_DTYPE[dtype]
+        alloc, active = self._locate(addrs, mask, dtype.nbytes)
+        idx = (addrs[active] - alloc.base) // dtype.nbytes
+        view = alloc.data.view(np_dt) if alloc.data.dtype != np_dt else alloc.data
+        np.add.at(view, idx, values[active].astype(np_dt))

@@ -1,0 +1,80 @@
+"""Hardware-side resident-block computation.
+
+This is what the *hardware* (the block scheduler) does when deciding how
+many blocks of a kernel fit on one SM; the paper's occupancy model
+(:mod:`repro.core.occupancy`, Eqs. 1-5) describes the same computation in
+analysis terms.  Tests assert the two agree on every configuration; they
+are kept separate because the simulator must not depend on the analysis
+layer it is used to validate.
+"""
+
+from __future__ import annotations
+
+from repro.arch.specs import GPUSpec
+
+
+def _ceil_to(value: int, granularity: int) -> int:
+    if granularity <= 0:
+        raise ValueError("granularity must be positive")
+    return -(-value // granularity) * granularity
+
+
+def hw_resident_blocks(
+    gpu: GPUSpec,
+    threads_per_block: int,
+    regs_per_thread: int = 0,
+    smem_per_block: int = 0,
+) -> int:
+    """Blocks of this kernel that can be resident on one SM (0 = cannot
+    launch: block too large or over a per-block resource limit)."""
+    if threads_per_block <= 0:
+        raise ValueError("threads_per_block must be positive")
+    if threads_per_block > gpu.max_threads_per_block:
+        return 0
+    if regs_per_thread > gpu.max_regs_per_thread:
+        return 0
+    if smem_per_block > gpu.smem_per_block_bytes:
+        return 0
+
+    warps = gpu.warps_per_block(threads_per_block)
+
+    limits = [gpu.max_blocks_per_mp, gpu.max_warps_per_mp // warps]
+
+    if regs_per_thread > 0:
+        if gpu.compute_capability < 3.0:
+            # Fermi: registers are allocated per block, rounded to the
+            # allocation unit, out of the block-visible register file.
+            regs_block = _ceil_to(
+                regs_per_thread
+                * gpu.warp_size
+                * _ceil_to(warps, gpu.warp_alloc_granularity),
+                gpu.reg_alloc_unit,
+            )
+            limits.append(gpu.regfile_per_block // regs_block)
+        else:
+            # Kepler+: registers are allocated per warp.
+            regs_warp = _ceil_to(
+                regs_per_thread * gpu.warp_size, gpu.reg_alloc_unit
+            )
+            warps_fit = gpu.regfile_per_mp // regs_warp
+            limits.append(warps_fit // warps)
+
+    if smem_per_block > 0:
+        smem_block = _ceil_to(smem_per_block, gpu.smem_alloc_unit)
+        limits.append(gpu.smem_per_mp_bytes // smem_block)
+
+    return max(0, min(limits))
+
+
+def hw_occupancy(
+    gpu: GPUSpec,
+    threads_per_block: int,
+    regs_per_thread: int = 0,
+    smem_per_block: int = 0,
+) -> float:
+    """Theoretical occupancy: resident warps over the SM's warp capacity."""
+    blocks = hw_resident_blocks(
+        gpu, threads_per_block, regs_per_thread, smem_per_block
+    )
+    warps = gpu.warps_per_block(threads_per_block)
+    return blocks * warps / gpu.max_warps_per_mp

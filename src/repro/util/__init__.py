@@ -1,0 +1,25 @@
+"""Shared utilities: ASCII tables/plots, statistics helpers, RNG policy."""
+
+from repro.util.tables import ascii_table, ascii_bar_chart, ascii_histogram
+from repro.util.stats import (
+    mean_absolute_error,
+    sum_squared_error,
+    mode,
+    percentile,
+    normalize,
+    describe,
+)
+from repro.util.rng import rng_for
+
+__all__ = [
+    "ascii_table",
+    "ascii_bar_chart",
+    "ascii_histogram",
+    "mean_absolute_error",
+    "sum_squared_error",
+    "mode",
+    "percentile",
+    "normalize",
+    "describe",
+    "rng_for",
+]

@@ -1,0 +1,76 @@
+"""Statistics helpers used across experiments.
+
+These implement exactly the aggregate statistics the paper reports: mean
+absolute error (Fig. 5), sum-of-squares error rates (Table VI), mode and
+quartiles (Table V), and min-max normalization for comparing predicted
+against measured execution-time profiles.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Sequence
+
+import numpy as np
+
+
+def mean_absolute_error(predicted: Sequence[float], observed: Sequence[float]) -> float:
+    """MAE between two equal-length sequences (paper Fig. 5 metric)."""
+    p = np.asarray(predicted, dtype=float)
+    o = np.asarray(observed, dtype=float)
+    if p.shape != o.shape:
+        raise ValueError(f"shape mismatch: {p.shape} vs {o.shape}")
+    if p.size == 0:
+        raise ValueError("empty input")
+    return float(np.mean(np.abs(p - o)))
+
+
+def sum_squared_error(predicted: Sequence[float], observed: Sequence[float]) -> float:
+    """Sum-of-squares error (paper Table VI metric)."""
+    p = np.asarray(predicted, dtype=float)
+    o = np.asarray(observed, dtype=float)
+    if p.shape != o.shape:
+        raise ValueError(f"shape mismatch: {p.shape} vs {o.shape}")
+    return float(np.sum((p - o) ** 2))
+
+
+def mode(values: Sequence[float]) -> float:
+    """Most frequent value; ties break toward the smaller value."""
+    if len(values) == 0:
+        raise ValueError("mode of empty sequence")
+    counts = Counter(values)
+    best = max(counts.items(), key=lambda kv: (kv[1], -float(kv[0])))
+    return best[0]
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """q-th percentile (0..100), linear interpolation (numpy default)."""
+    if len(values) == 0:
+        raise ValueError("percentile of empty sequence")
+    return float(np.percentile(np.asarray(values, dtype=float), q))
+
+
+def normalize(values: Sequence[float]) -> np.ndarray:
+    """Min-max normalize to [0, 1]; constant sequences map to zeros."""
+    v = np.asarray(values, dtype=float)
+    if v.size == 0:
+        raise ValueError("normalize of empty sequence")
+    lo, hi = float(v.min()), float(v.max())
+    if hi == lo:
+        return np.zeros_like(v)
+    return (v - lo) / (hi - lo)
+
+
+def describe(values: Sequence[float]) -> dict[str, float]:
+    """Mean / std / mode / quartiles bundle used by Table V rows."""
+    v = np.asarray(values, dtype=float)
+    if v.size == 0:
+        raise ValueError("describe of empty sequence")
+    return {
+        "mean": float(v.mean()),
+        "std": float(v.std(ddof=1)) if v.size > 1 else 0.0,
+        "mode": mode(list(v)),
+        "p25": percentile(v, 25),
+        "p50": percentile(v, 50),
+        "p75": percentile(v, 75),
+    }

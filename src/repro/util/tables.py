@@ -1,0 +1,97 @@
+"""ASCII rendering for tables, bar charts and histograms.
+
+Every experiment regenerates its paper table/figure as plain text so results
+can be diffed, logged from pytest-benchmark runs, and pasted into
+EXPERIMENTS.md without a plotting stack.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def _fmt_cell(v) -> str:
+    if isinstance(v, float):
+        if v == 0:
+            return "0"
+        if abs(v) >= 1000:
+            return f"{v:,.1f}"
+        if abs(v) >= 1:
+            return f"{v:.2f}"
+        return f"{v:.4f}"
+    return str(v)
+
+
+def ascii_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+    title: str | None = None,
+    align_right: bool = True,
+) -> str:
+    """Render ``rows`` under ``headers`` as a boxed ASCII table."""
+    srows = [[_fmt_cell(c) for c in row] for row in rows]
+    cols = len(headers)
+    for i, r in enumerate(srows):
+        if len(r) != cols:
+            raise ValueError(
+                f"row {i} has {len(r)} cells, expected {cols}: {r}"
+            )
+    widths = [
+        max(len(headers[c]), *(len(r[c]) for r in srows)) if srows else len(headers[c])
+        for c in range(cols)
+    ]
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        out = []
+        for c, cell in enumerate(cells):
+            out.append(cell.rjust(widths[c]) if align_right else cell.ljust(widths[c]))
+        return "| " + " | ".join(out) + " |"
+
+    sep = "+" + "+".join("-" * (w + 2) for w in widths) + "+"
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(sep)
+    lines.append(fmt_row(list(headers)))
+    lines.append(sep)
+    lines.extend(fmt_row(r) for r in srows)
+    lines.append(sep)
+    return "\n".join(lines)
+
+
+def ascii_bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 50,
+    title: str | None = None,
+    fmt: str = "{:.3f}",
+    max_value: float | None = None,
+) -> str:
+    """Horizontal bar chart; one row per label."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have equal length")
+    vmax = max_value if max_value is not None else max([*values, 1e-12])
+    lw = max((len(l) for l in labels), default=0)
+    lines = [title] if title else []
+    for label, v in zip(labels, values):
+        n = 0 if vmax <= 0 else int(round(width * max(v, 0.0) / vmax))
+        lines.append(f"{label.ljust(lw)} | {'#' * n:<{width}} {fmt.format(v)}")
+    return "\n".join(lines)
+
+
+def ascii_histogram(
+    values: Sequence[float],
+    bins: Sequence[float],
+    width: int = 40,
+    title: str | None = None,
+) -> str:
+    """Histogram of ``values`` over bin edges ``bins`` (len(bins)-1 bars)."""
+    import numpy as np
+
+    counts, edges = np.histogram(np.asarray(values, dtype=float), bins=bins)
+    labels = [
+        f"[{edges[i]:>6.0f},{edges[i + 1]:>6.0f})" for i in range(len(counts))
+    ]
+    return ascii_bar_chart(
+        labels, counts.tolist(), width=width, title=title, fmt="{:.0f}"
+    )

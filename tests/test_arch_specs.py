@@ -1,0 +1,145 @@
+"""Tests for the GPU hardware descriptors (paper Table I)."""
+
+import dataclasses
+
+import pytest
+
+from repro.arch import ALL_GPUS, GPUS_BY_FAMILY, K20, M2050, M40, P100, get_gpu
+from repro.arch.specs import GPUSpec
+
+
+class TestTableIValues:
+    """Every value in Table I must be transcribed exactly."""
+
+    def test_compute_capabilities(self):
+        assert [g.compute_capability for g in ALL_GPUS] == [2.0, 3.5, 5.2, 6.0]
+
+    def test_multiprocessors(self):
+        assert [g.multiprocessors for g in ALL_GPUS] == [14, 13, 24, 56]
+
+    def test_cores_per_mp(self):
+        assert [g.cores_per_mp for g in ALL_GPUS] == [32, 192, 128, 64]
+
+    def test_total_cores(self):
+        assert [g.cuda_cores for g in ALL_GPUS] == [448, 2496, 3072, 3584]
+
+    def test_clocks(self):
+        assert [g.gpu_clock_mhz for g in ALL_GPUS] == [1147, 824, 1140, 405]
+        assert [g.mem_clock_mhz for g in ALL_GPUS] == [1546, 2505, 5000, 715]
+
+    def test_global_memory(self):
+        assert [g.global_mem_mb for g in ALL_GPUS] == [
+            3072, 11520, 12288, 17066,
+        ]
+
+    def test_l2_cache(self):
+        assert [g.l2_cache_mb for g in ALL_GPUS] == [0.786, 1.572, 3.146, 4.194]
+
+    def test_smem_per_block_uniform(self):
+        assert all(g.smem_per_block_bytes == 49152 for g in ALL_GPUS)
+
+    def test_regfile(self):
+        assert [g.regfile_per_block for g in ALL_GPUS] == [
+            32768, 65536, 65536, 65536,
+        ]
+
+    def test_warp_size_uniform(self):
+        assert all(g.warp_size == 32 for g in ALL_GPUS)
+
+    def test_threads_per_mp(self):
+        assert [g.max_threads_per_mp for g in ALL_GPUS] == [
+            1536, 2048, 2048, 2048,
+        ]
+
+    def test_max_threads_per_block_uniform(self):
+        assert all(g.max_threads_per_block == 1024 for g in ALL_GPUS)
+
+    def test_blocks_per_mp(self):
+        assert [g.max_blocks_per_mp for g in ALL_GPUS] == [8, 16, 32, 32]
+
+    def test_warps_per_mp(self):
+        assert [g.max_warps_per_mp for g in ALL_GPUS] == [48, 64, 64, 64]
+
+    def test_reg_alloc_unit(self):
+        assert [g.reg_alloc_unit for g in ALL_GPUS] == [64, 256, 256, 256]
+
+    def test_max_regs_per_thread(self):
+        assert [g.max_regs_per_thread for g in ALL_GPUS] == [63, 255, 255, 255]
+
+    def test_families(self):
+        assert [g.family for g in ALL_GPUS] == [
+            "Fermi", "Kepler", "Maxwell", "Pascal",
+        ]
+
+
+class TestDerivedQuantities:
+    def test_warps_consistency(self):
+        # max warps * warp size == max threads per SM, enforced at init
+        for g in ALL_GPUS:
+            assert g.max_warps_per_mp * g.warp_size == g.max_threads_per_mp
+
+    def test_peak_bandwidth_positive_and_ordered(self):
+        bws = [g.peak_bandwidth_gbs for g in ALL_GPUS]
+        assert all(b > 50 for b in bws)
+        # P100 (HBM2) has by far the highest bandwidth
+        assert bws[3] == max(bws)
+
+    def test_cycle_time(self):
+        assert K20.cycle_time_s == pytest.approx(1.0 / 824e6)
+
+    def test_warps_per_block(self):
+        assert K20.warps_per_block(1) == 1
+        assert K20.warps_per_block(32) == 1
+        assert K20.warps_per_block(33) == 2
+        assert K20.warps_per_block(1024) == 32
+
+    def test_warps_per_block_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            K20.warps_per_block(0)
+
+    def test_short_mentions_name_and_family(self):
+        s = M40.short()
+        assert "M40" in s and "Maxwell" in s
+
+    def test_as_dict_roundtrip(self):
+        d = P100.as_dict()
+        assert d["name"] == "P100"
+        assert GPUSpec(**d) == P100
+
+
+class TestValidation:
+    def test_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            K20.multiprocessors = 1  # type: ignore[misc]
+
+    def test_inconsistent_warp_count_rejected(self):
+        d = K20.as_dict()
+        d["max_warps_per_mp"] = 63
+        with pytest.raises(ValueError, match="warps-per-mp"):
+            GPUSpec(**d)
+
+    def test_nonmultiple_block_size_rejected(self):
+        d = K20.as_dict()
+        d["max_threads_per_block"] = 1000
+        with pytest.raises(ValueError, match="multiple of warp_size"):
+            GPUSpec(**d)
+
+
+class TestLookup:
+    @pytest.mark.parametrize(
+        "alias,name",
+        [
+            ("fermi", "M2050"), ("Kepler", "K20"), ("MAXWELL", "M40"),
+            ("pascal", "P100"), ("k20", "K20"), ("sm35", "K20"),
+            ("sm_60", "P100"), ("m2050", "M2050"),
+        ],
+    )
+    def test_aliases(self, alias, name):
+        assert get_gpu(alias).name == name
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError, match="unknown GPU"):
+            get_gpu("volta")
+
+    def test_family_index(self):
+        assert GPUS_BY_FAMILY["Kepler"] is K20

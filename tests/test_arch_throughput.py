@@ -1,0 +1,99 @@
+"""Tests for the Table II throughput tables."""
+
+import pytest
+
+from repro.arch import K20, M40
+from repro.arch.throughput import (
+    THROUGHPUT_BY_SM,
+    InstrCategory,
+    PipeClass,
+    ThroughputTable,
+    cpi,
+    ipc,
+    throughput_for,
+)
+
+
+class TestTableIIValues:
+    @pytest.mark.parametrize(
+        "cat,expected",
+        [
+            (InstrCategory.FP32, (32, 192, 128, 64)),
+            (InstrCategory.FP64, (16, 64, 4, 32)),
+            (InstrCategory.COMP_MINMAX, (32, 160, 64, 32)),
+            (InstrCategory.SHIFT, (16, 32, 64, 32)),
+            (InstrCategory.CONV64, (16, 8, 4, 16)),
+            (InstrCategory.CONV32, (16, 128, 32, 16)),
+            (InstrCategory.LOG_SIN_COS, (4, 32, 32, 16)),
+            (InstrCategory.INT_ADD32, (32, 160, 64, 32)),
+            (InstrCategory.LDST, (16, 32, 64, 16)),
+            (InstrCategory.PRED_CTRL, (16, 32, 64, 16)),
+            (InstrCategory.MOVE, (32, 32, 32, 32)),
+            (InstrCategory.REGS, (16, 32, 32, 16)),
+        ],
+    )
+    def test_row(self, cat, expected):
+        got = tuple(THROUGHPUT_BY_SM[sm].ipc(cat) for sm in (20, 35, 52, 60))
+        assert got == expected
+
+    def test_all_sm_versions_present(self):
+        assert sorted(THROUGHPUT_BY_SM) == [20, 35, 52, 60]
+
+    def test_every_category_covered(self):
+        for sm, table in THROUGHPUT_BY_SM.items():
+            for cat in InstrCategory:
+                assert table.ipc(cat) > 0
+
+
+class TestCPI:
+    def test_cpi_is_reciprocal(self):
+        t = THROUGHPUT_BY_SM[35]
+        for cat in InstrCategory:
+            assert t.cpi(cat) == pytest.approx(1.0 / t.ipc(cat))
+
+    def test_pipe_cpi_uses_representatives(self):
+        t = THROUGHPUT_BY_SM[35]
+        assert t.pipe_cpi(PipeClass.FLOPS) == pytest.approx(1 / 192)
+        assert t.pipe_cpi(PipeClass.MEM) == pytest.approx(1 / 32)
+        assert t.pipe_cpi(PipeClass.CTRL) == pytest.approx(1 / 32)
+        assert t.pipe_cpi(PipeClass.REG) == pytest.approx(1 / 32)
+
+    def test_throughput_weights_higher_cost_for_slow_ops(self):
+        # the paper: "an operation with a high throughput would cost less
+        # to issue than an operation with a lower instruction throughput"
+        t = THROUGHPUT_BY_SM[20]
+        assert t.cpi(InstrCategory.LOG_SIN_COS) > t.cpi(InstrCategory.FP32)
+
+
+class TestPipeMapping:
+    def test_flops_class_members(self):
+        flops = {c for c in InstrCategory if c.pipe is PipeClass.FLOPS}
+        assert InstrCategory.FP32 in flops
+        assert InstrCategory.INT_ADD32 in flops
+        assert InstrCategory.LOG_SIN_COS in flops
+        assert InstrCategory.LDST not in flops
+
+    def test_mem_ctrl_reg(self):
+        assert InstrCategory.LDST.pipe is PipeClass.MEM
+        assert InstrCategory.PRED_CTRL.pipe is PipeClass.CTRL
+        assert InstrCategory.MOVE.pipe is PipeClass.CTRL
+        assert InstrCategory.REGS.pipe is PipeClass.REG
+
+
+class TestAccess:
+    def test_throughput_for_spec(self):
+        assert throughput_for(K20).sm_version == 35
+        assert throughput_for(52) is THROUGHPUT_BY_SM[52]
+
+    def test_convenience_functions(self):
+        assert ipc(M40, InstrCategory.FP32) == 128
+        assert cpi(M40, InstrCategory.FP32) == pytest.approx(1 / 128)
+
+    def test_unknown_sm_raises(self):
+        with pytest.raises(KeyError):
+            ThroughputTable.for_sm(70)
+
+    def test_as_rows_shape(self):
+        rows = THROUGHPUT_BY_SM[60].as_rows()
+        assert len(rows) == len(InstrCategory)
+        assert all(len(r) == 2 for r in rows)

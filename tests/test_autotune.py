@@ -1,0 +1,266 @@
+"""Tests for the Orio-like autotuning framework: space, spec parsing,
+measurement, ranking, and every search strategy."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.arch import K20
+from repro.autotune import (
+    Autotuner,
+    ExhaustiveSearch,
+    GeneticSearch,
+    Measurer,
+    NelderMeadSearch,
+    RandomSearch,
+    SimulatedAnnealingSearch,
+    StaticSearch,
+    default_tuning_spec,
+    get_search,
+    parse_perf_tuning,
+    rank_split,
+)
+from repro.autotune.space import Parameter, ParameterSpace
+from repro.autotune.spec import DEFAULT_SPEC_TEXT, SpecError
+from repro.kernels import get_benchmark
+
+
+@pytest.fixture
+def small_space():
+    return ParameterSpace([
+        Parameter("TC", (32, 64, 128, 256)),
+        Parameter("BC", (24, 48)),
+        Parameter("UIF", (1, 2)),
+    ])
+
+
+class TestParameterSpace:
+    def test_size_and_iteration(self, small_space):
+        assert len(small_space) == 16
+        configs = list(small_space)
+        assert len(configs) == 16
+        assert all(set(c) == {"TC", "BC", "UIF"} for c in configs)
+
+    def test_coords_roundtrip(self, small_space):
+        cfg = {"TC": 128, "BC": 48, "UIF": 2}
+        assert small_space.config_at(small_space.coords_of(cfg)) == cfg
+
+    def test_clip(self, small_space):
+        assert small_space.clip((-5, 99, 1)) == (0, 1, 1)
+
+    def test_restrict(self, small_space):
+        r = small_space.restrict("TC", [64, 256, 9999])
+        assert len(r) == 8
+        assert r.by_name["TC"].values == (64, 256)
+
+    def test_restrict_to_nothing_rejected(self, small_space):
+        with pytest.raises(ValueError):
+            small_space.restrict("TC", [7])
+
+    def test_duplicate_values_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            Parameter("X", (1, 1))
+
+    def test_validate_config(self, small_space):
+        with pytest.raises(ValueError, match="not allowed"):
+            small_space.validate_config({"TC": 5, "BC": 24, "UIF": 1})
+        with pytest.raises(ValueError, match="missing"):
+            small_space.validate_config({"TC": 32, "BC": 24})
+
+    @settings(max_examples=50, deadline=None)
+    @given(i=st.integers(0, 15))
+    def test_config_at_total(self, i):
+        space = ParameterSpace([
+            Parameter("A", (1, 2, 3, 4)), Parameter("B", (10, 20, 30, 40)),
+        ])
+        coords = (i % 4, i // 4)
+        cfg = space.config_at(coords)
+        assert space.coords_of(cfg) == coords
+
+
+class TestSpecParsing:
+    def test_default_spec_is_paper_space(self):
+        space = parse_perf_tuning(DEFAULT_SPEC_TEXT)
+        assert len(space) == 5120
+        assert space.names() == ["TC", "BC", "UIF", "PL", "CFLAGS"]
+        assert space.by_name["TC"].values[:3] == (32, 64, 96)
+        assert space.by_name["CFLAGS"].values == ("", "-use_fast_math")
+
+    def test_range_with_step(self):
+        space = parse_perf_tuning(
+            "def performance_params { param X[] = range(0,10,3); }"
+        )
+        assert space.by_name["X"].values == (0, 3, 6, 9)
+
+    def test_list_of_strings(self):
+        space = parse_perf_tuning(
+            "def performance_params { param F[] = ['a', 'b,c']; }"
+        )
+        assert space.by_name["F"].values == ("a", "b,c")
+
+    @pytest.mark.parametrize(
+        "text,match",
+        [
+            ("nothing here", "no performance_params"),
+            ("def performance_params { }", "no parameters"),
+            ("def performance_params { param X[] = range(5,5); }", "empty"),
+            ("def performance_params { param X[] = blob; }", "cannot parse"),
+        ],
+    )
+    def test_errors(self, text, match):
+        with pytest.raises(SpecError, match=match):
+            parse_perf_tuning(text)
+
+
+class TestMeasurer:
+    def test_module_cache_reuse(self):
+        bm = get_benchmark("atax")
+        m = Measurer(bm, K20)
+        c1 = {"TC": 32, "BC": 24, "UIF": 2, "PL": 16, "CFLAGS": ""}
+        c2 = {"TC": 512, "BC": 96, "UIF": 2, "PL": 16, "CFLAGS": ""}
+        assert m.module_for(c1) is m.module_for(c2)  # same compile key
+        c3 = dict(c1, UIF=3)
+        assert m.module_for(c3) is not m.module_for(c1)
+
+    def test_measurement_deterministic(self):
+        bm = get_benchmark("atax")
+        cfg = {"TC": 128, "BC": 48, "UIF": 1, "PL": 16, "CFLAGS": ""}
+        a = Measurer(bm, K20).measure(cfg, 64)
+        b = Measurer(bm, K20).measure(cfg, 64)
+        assert a.seconds == b.seconds
+
+    def test_noise_across_configs_differs(self):
+        bm = get_benchmark("atax")
+        m = Measurer(bm, K20)
+        a = m.measure({"TC": 128, "BC": 48, "UIF": 1, "PL": 16,
+                       "CFLAGS": ""}, 64)
+        b = m.measure({"TC": 128, "BC": 72, "UIF": 1, "PL": 16,
+                       "CFLAGS": ""}, 64)
+        assert a.seconds != b.seconds
+
+    def test_fields_populated(self):
+        bm = get_benchmark("ex14fj")
+        m = Measurer(bm, K20).measure(
+            {"TC": 256, "BC": 48, "UIF": 1, "PL": 16, "CFLAGS": ""}, 8
+        )
+        assert m.launchable
+        assert 0 < m.occupancy <= 1
+        assert m.regs_per_thread > 0
+        assert m.reg_instructions > 0
+
+
+class TestRanking:
+    def test_split_within_sizes(self):
+        from repro.autotune.measure import VariantMeasurement
+
+        ms = []
+        for size, base in ((32, 1.0), (64, 100.0)):
+            for k in range(4):
+                ms.append(VariantMeasurement(
+                    config={"TC": 32 * (k + 1)}, size=size,
+                    seconds=base + k, occupancy=0.5, regs_per_thread=20,
+                    reg_instructions=1.0,
+                ))
+        ranked = rank_split(ms)
+        r1 = [rv for rv in ranked if rv.rank == 1]
+        # two per size group, not four from the small size
+        assert sorted(rv.measurement.size for rv in r1) == [32, 32, 64, 64]
+
+    def test_unlaunchable_excluded(self):
+        from repro.autotune.measure import VariantMeasurement
+
+        good = VariantMeasurement({"TC": 32}, 32, 1.0, 0.5, 20, 1.0)
+        bad = VariantMeasurement({"TC": 2048}, 32, float("inf"), 0.0, 20, 1.0)
+        ranked = rank_split([good, bad])
+        assert len(ranked) == 1
+
+
+def _quadratic_objective(space):
+    """Deterministic synthetic objective with a unique known optimum."""
+    best = {p.name: p.values[len(p) // 2] for p in space.parameters}
+
+    def f(config):
+        return 1.0 + sum(
+            (space.by_name[k].index_of(config[k])
+             - space.by_name[k].index_of(best[k])) ** 2
+            for k in config
+        )
+
+    return f, best
+
+
+class TestSearchStrategies:
+    def test_exhaustive_finds_optimum(self, small_space):
+        f, best = _quadratic_objective(small_space)
+        res = ExhaustiveSearch().search(small_space, f)
+        assert res.best_config == best
+        assert res.evaluations == len(small_space)
+        assert res.space_reduction == 0.0
+
+    def test_exhaustive_budget(self, small_space):
+        f, _ = _quadratic_objective(small_space)
+        res = ExhaustiveSearch().search(small_space, f, budget=5)
+        assert res.evaluations == 5
+
+    @pytest.mark.parametrize("cls,kwargs,tol", [
+        (RandomSearch, {"budget": 60}, 9.0),
+        (SimulatedAnnealingSearch, {"budget": 120}, 3.0),
+        (GeneticSearch, {"population": 12, "generations": 8}, 3.0),
+        (NelderMeadSearch, {"budget": 100}, 3.0),
+    ])
+    def test_heuristics_reach_near_optimum(self, cls, kwargs, tol):
+        space = ParameterSpace([
+            Parameter("A", tuple(range(16))),
+            Parameter("B", tuple(range(16))),
+        ])
+        f, best = _quadratic_objective(space)
+        res = cls(seed=7, **kwargs).search(space, f)
+        assert res.best_value <= tol  # near the optimum (value 1.0)
+        assert res.evaluations <= 130
+
+    def test_random_search_deterministic_by_seed(self, small_space):
+        f, _ = _quadratic_objective(small_space)
+        a = RandomSearch(budget=8, seed=3).search(small_space, f)
+        b = RandomSearch(budget=8, seed=3).search(small_space, f)
+        assert [h[0] for h in a.history] == [h[0] for h in b.history]
+
+    def test_registry(self):
+        assert isinstance(get_search("random", budget=5), RandomSearch)
+        with pytest.raises(KeyError):
+            get_search("quantum")
+
+
+class TestStaticSearchIntegration:
+    def test_paper_reduction_numbers(self):
+        """Kepler: |T*| = 4 of 32 -> 87.5%; with the rule 2 of 32 -> 93.75%."""
+        bm = get_benchmark("atax")
+        tuner = Autotuner(bm, K20)
+        out = tuner.tune(size=64, search="static")
+        assert out.search.space_reduction == pytest.approx(0.875)
+        assert out.search.evaluations == 5120 // 8
+        out_rb = tuner.tune(size=64, search="static", use_rule=True)
+        assert out_rb.search.space_reduction == pytest.approx(0.9375)
+
+    def test_static_search_quality(self):
+        """The pruned search must stay close to the exhaustive optimum."""
+        from repro.experiments.common import reduced_space
+
+        bm = get_benchmark("atax")
+        tuner = Autotuner(bm, K20, space=reduced_space())
+        ex = tuner.tune(size=256, search="exhaustive")
+        stat = tuner.tune(size=256, search="static")
+        assert stat.best_seconds <= 1.25 * ex.best_seconds
+
+    def test_static_search_inner_strategy(self):
+        bm = get_benchmark("atax")
+        tuner = Autotuner(bm, K20)
+        out = tuner.tune(size=64, search="static", inner="random", budget=40)
+        assert out.search.evaluations <= 40
+        assert out.search.space_reduction == pytest.approx(0.875)
+
+    def test_static_needs_size(self):
+        bm = get_benchmark("atax")
+        tuner = Autotuner(bm, K20)
+        with pytest.raises(ValueError, match="size"):
+            tuner.make_search("static")

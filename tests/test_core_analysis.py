@@ -1,0 +1,207 @@
+"""Tests for the static analyzer: mixes, intensity, Eq. 6, pipeline
+utilization, divergence, suggestions, rules, and the facade."""
+
+import math
+
+import pytest
+
+from repro.arch import ALL_GPUS, K20, M2050
+from repro.arch.throughput import PipeClass
+from repro.codegen.compiler import CompileOptions, compile_kernel, compile_module
+from repro.core.analyzer import StaticAnalyzer
+from repro.core.divergence import analyze_divergence, expected_warp_efficiency
+from repro.core.instruction_mix import (
+    raw_static_mix,
+    static_mix,
+    static_mix_module,
+)
+from repro.core.pipeline import bottleneck_pipeline, pipeline_utilization
+from repro.core.rules import INTENSITY_THRESHOLD, rule_based_threads
+from repro.core.suggest import suggest_for_module, suggest_parameters
+from repro.core.timing_model import Eq6Model, fit_scale, profile_mae
+from repro.kernels import get_benchmark
+
+
+@pytest.fixture(scope="module")
+def reports():
+    out = {}
+    for name in ("atax", "bicg", "matvec2d", "ex14fj"):
+        bm = get_benchmark(name)
+        out[name] = StaticAnalyzer(K20).analyze(
+            list(bm.specs), bm.param_env(bm.sizes[-1]), name=name
+        )
+    return out
+
+
+class TestInstructionMix:
+    def test_raw_counts_are_static(self, compiled_benchmarks):
+        ck = compiled_benchmarks["atax"].kernels[0]
+        raw = raw_static_mix(ck)
+        assert raw.total == len(ck.ir)
+
+    def test_static_mix_scales_with_size(self, compiled_benchmarks):
+        ck = compiled_benchmarks["atax"].kernels[0]
+        small = static_mix(ck, {"N": 32})
+        large = static_mix(ck, {"N": 64})
+        # inner loop is O(N^2): quadrupling, not doubling
+        assert large.total / small.total == pytest.approx(4.0, rel=0.2)
+
+    def test_pipe_aggregation_sums(self, compiled_benchmarks):
+        mix = static_mix_module(compiled_benchmarks["bicg"], {"N": 64})
+        pipes = mix.by_pipe()
+        non_reg = sum(v for k, v in pipes.items() if k is not PipeClass.REG)
+        assert non_reg == pytest.approx(mix.total)
+        assert pipes[PipeClass.REG] == pytest.approx(mix.reg_ops)
+
+    def test_intensity_ordering_matches_paper(self, reports):
+        """Table VI ordering: bicg < atax < 4.0 < matvec2d < ex14fj."""
+        i = {k: r.intensity for k, r in reports.items()}
+        assert i["bicg"] < i["atax"] < INTENSITY_THRESHOLD
+        assert INTENSITY_THRESHOLD < i["matvec2d"] < i["ex14fj"]
+
+
+class TestEq6:
+    def test_coefficients_from_table_ii(self):
+        m = Eq6Model.for_gpu(K20)
+        assert m.cf == pytest.approx(1 / 192)
+        assert m.cm == pytest.approx(1 / 32)
+        assert m.cb == pytest.approx(1 / 32)
+        assert m.cr == pytest.approx(1 / 32)
+
+    def test_cost_monotone_in_size(self, compiled_benchmarks):
+        mod = compiled_benchmarks["matvec2d"]
+        m = Eq6Model.for_gpu(K20)
+        costs = [
+            m.weighted_cost(static_mix_module(mod, {"N": n, "NN": n * n}))
+            for n in (32, 64, 128)
+        ]
+        assert costs[0] < costs[1] < costs[2]
+
+    def test_profile_mae_bounds(self):
+        assert profile_mae([1, 2, 3], [1, 2, 3]) == pytest.approx(0.0)
+        assert 0.0 <= profile_mae([3, 2, 1], [10, 20, 30]) <= 1.0
+
+    def test_profile_mae_validates(self):
+        with pytest.raises(ValueError):
+            profile_mae([1, 2], [1, 2, 3])
+
+    def test_fit_scale(self):
+        assert fit_scale([1.0, 2.0], [2.0, 4.0]) == pytest.approx(2.0)
+        assert fit_scale([0.0, 0.0], [1.0, 1.0]) == 0.0
+
+
+class TestPipeline:
+    def test_utilization_normalized(self, compiled_benchmarks):
+        mix = static_mix_module(compiled_benchmarks["atax"], {"N": 64})
+        util = pipeline_utilization(mix, K20)
+        assert sum(util.values()) == pytest.approx(1.0)
+        assert all(0.0 <= v <= 1.0 for v in util.values())
+
+    def test_ex14fj_sfu_heavy(self, compiled_benchmarks):
+        env = {"N": 16, "NN": 256, "NNN": 4096}
+        mix = static_mix_module(compiled_benchmarks["ex14fj"], env)
+        util = pipeline_utilization(mix, K20)
+        assert util["sfu"] > 0.10  # exp + integer div/mod
+
+    def test_bottleneck_is_argmax(self, compiled_benchmarks):
+        mix = static_mix_module(compiled_benchmarks["bicg"], {"N": 64})
+        util = pipeline_utilization(mix, K20)
+        assert util[bottleneck_pipeline(mix, K20)] == max(util.values())
+
+
+class TestDivergenceAnalysis:
+    def test_ex14fj_divergent(self, compiled_benchmarks):
+        rep = analyze_divergence(compiled_benchmarks["ex14fj"].kernels[0])
+        assert rep.divergent_branches >= 1
+        assert rep.expected_efficiency < 1.0
+
+    def test_matvec_no_costly_divergence(self, compiled_benchmarks):
+        rep = analyze_divergence(compiled_benchmarks["matvec2d"].kernels[0])
+        # only the grid-stride guard diverges; arms are empty -> eff 1.0
+        assert rep.expected_efficiency == pytest.approx(1.0, abs=0.05)
+
+    def test_efficiency_formula(self):
+        assert expected_warp_efficiency(0, 0) == 1.0
+        # balanced arms at p=0.5: both always issued, half useful
+        assert expected_warp_efficiency(100, 100, 0.5) == pytest.approx(
+            0.5, abs=0.01
+        )
+        # one-sided probability ~1: almost no loss on the then-arm
+        assert expected_warp_efficiency(100, 0, 1.0) == pytest.approx(1.0)
+
+
+class TestSuggestions:
+    def test_reg_increase_preserves_occupancy(self):
+        for gpu in ALL_GPUS:
+            s = suggest_parameters(gpu, regs_per_thread=24)
+            from repro.core.occupancy import occupancy
+
+            best = max(
+                occupancy(gpu, t, 24 + s.reg_increase).occupancy
+                for t in s.threads
+            )
+            assert best == pytest.approx(s.best_occupancy)
+
+    def test_smem_headroom_bounded(self):
+        s = suggest_parameters(K20, regs_per_thread=24)
+        assert 0 <= s.smem_headroom <= K20.smem_per_block_bytes
+
+    def test_module_uses_max_registers(self, compiled_benchmarks):
+        mod = compiled_benchmarks["atax"]
+        s = suggest_for_module(mod)
+        assert s.regs_used == mod.regs_per_thread
+
+    def test_str(self):
+        s = suggest_parameters(K20, 24, kernel_name="k")
+        assert "T*=" in str(s) and "occ*=" in str(s)
+
+
+class TestRules:
+    def test_threshold_is_four(self):
+        assert INTENSITY_THRESHOLD == 4.0
+
+    def test_low_intensity_takes_lower_half(self):
+        assert rule_based_threads((128, 256, 512, 1024), 2.0) == (128, 256)
+
+    def test_high_intensity_takes_upper_half(self):
+        assert rule_based_threads((128, 256, 512, 1024), 5.0) == (512, 1024)
+
+    def test_odd_length_keeps_floor_half(self):
+        t = (192, 256, 384, 512, 768)
+        assert rule_based_threads(t, 1.0) == (192, 256)
+        assert rule_based_threads(t, 9.0) == (512, 768)
+
+    def test_boundary_value_goes_low(self):
+        # intensity == 4.0 is NOT > 4.0
+        assert rule_based_threads((64, 128), 4.0) == (64,)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            rule_based_threads((), 1.0)
+
+
+class TestAnalyzerFacade:
+    def test_report_complete(self, reports):
+        rep = reports["atax"]
+        assert rep.benchmark == "atax"
+        assert rep.regs_per_thread > 0
+        assert rep.suggestion.threads
+        assert set(rep.rule_threads) <= set(rep.suggestion.threads)
+        assert "ptxas" in rep.compile_log
+        assert rep.predicted_cost > 0
+
+    def test_compute_bound_flags(self, reports):
+        assert not reports["atax"].compute_bound
+        assert not reports["bicg"].compute_bound
+        assert reports["matvec2d"].compute_bound
+        assert reports["ex14fj"].compute_bound
+
+    def test_summary_renders(self, reports):
+        s = reports["ex14fj"].summary()
+        assert "intensity" in s and "T*" in s and "divergence" in s
+
+    def test_rule_threads_direction(self, reports):
+        """Memory-leaning kernels get the lower half, compute the upper."""
+        t_atax = reports["atax"].rule_threads
+        t_ex = reports["ex14fj"].rule_threads
+        assert max(t_atax) < min(t_ex)

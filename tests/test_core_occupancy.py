@@ -1,0 +1,166 @@
+"""Tests for the paper's occupancy model (Eqs. 1-5), including agreement
+with the hardware-side block scheduler and the paper's published T* sets."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.arch import ALL_GPUS, K20, M2050, M40, P100
+from repro.core.occupancy import (
+    blocks_limited_by_registers,
+    blocks_limited_by_smem,
+    blocks_limited_by_warps,
+    occupancy,
+    occupancy_curve,
+)
+from repro.sim.occupancy_hw import hw_occupancy, hw_resident_blocks
+
+
+class TestWarpLimiter:
+    def test_full_block_fermi(self):
+        # 1024 threads = 32 warps; Fermi holds 48 warps -> 1 block
+        assert blocks_limited_by_warps(M2050, 1024) == 1
+
+    def test_small_block_hits_block_limit(self):
+        # 32 threads = 1 warp; limited by B^cc_mp, not warps
+        assert blocks_limited_by_warps(M2050, 32) == 8
+        assert blocks_limited_by_warps(K20, 32) == 16
+        assert blocks_limited_by_warps(M40, 32) == 32
+
+    def test_oversized_block(self):
+        assert blocks_limited_by_warps(K20, 1056) == 0
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            blocks_limited_by_warps(K20, 0)
+
+
+class TestRegisterLimiter:
+    def test_case1_illegal(self):
+        assert blocks_limited_by_registers(M2050, 64, 256) == 0
+        assert blocks_limited_by_registers(K20, 256, 256) == 0
+
+    def test_case3_unconstrained(self):
+        assert blocks_limited_by_registers(K20, 0, 256) == K20.max_blocks_per_mp
+
+    def test_case2_fermi_block_granularity(self):
+        # 21 regs, 768 threads (24 warps, rounded to 24): Fermi fits 2 blocks
+        assert blocks_limited_by_registers(M2050, 21, 768) == 2
+        # 27 regs, 192 threads: ceil(27*32*6, 64)=5184 -> 6 blocks
+        assert blocks_limited_by_registers(M2050, 27, 192) == 6
+
+    def test_case2_kepler_warp_granularity(self):
+        # 32 regs: 1024 regs/warp -> 64 warps fit; 8-warp blocks -> 8 blocks
+        assert blocks_limited_by_registers(K20, 32, 256) == 8
+
+    def test_more_registers_fewer_blocks(self):
+        prev = 10**9
+        for regs in (8, 16, 32, 64, 128):
+            cur = blocks_limited_by_registers(K20, regs, 256)
+            assert cur <= prev
+            prev = cur
+
+
+class TestSmemLimiter:
+    def test_case1_illegal(self):
+        assert blocks_limited_by_smem(K20, 50000) == 0
+
+    def test_case3_unconstrained(self):
+        assert blocks_limited_by_smem(K20, 0) == K20.max_blocks_per_mp
+
+    def test_case2(self):
+        assert blocks_limited_by_smem(K20, 6144) == 8
+        assert blocks_limited_by_smem(M40, 6144) == 16  # 96KB per SM
+
+
+class TestOccupancy:
+    def test_ideal_config(self):
+        r = occupancy(K20, 256, regs_u=24, smem_u=0)
+        assert r.occupancy == 1.0
+        assert r.active_blocks == 8
+        assert r.active_warps == 64
+
+    def test_limiter_labels(self):
+        assert occupancy(K20, 32).limiter == "warps"  # block-count limit
+        r = occupancy(K20, 256, regs_u=128)
+        assert r.limiter == "registers"
+        r = occupancy(K20, 64, smem_u=24576)
+        assert r.limiter == "smem"
+
+    def test_illegal_config_zero(self):
+        assert occupancy(K20, 256, regs_u=300).occupancy == 0.0
+
+    def test_str(self):
+        assert "occ=" in str(occupancy(K20, 128))
+
+
+class TestPaperTStarSets:
+    """The T* sets of Table VII per architecture (warp-limited case)."""
+
+    @pytest.mark.parametrize(
+        "gpu,expected",
+        [
+            (M2050, [192, 256, 384, 512, 768]),
+            (K20, [128, 256, 512, 1024]),
+            (M40, [64, 128, 256, 512, 1024]),
+            (P100, [64, 128, 256, 512, 1024]),
+        ],
+    )
+    def test_max_occupancy_thread_counts(self, gpu, expected):
+        curve = occupancy_curve(gpu)
+        best = max(r.occupancy for r in curve)
+        tstar = [r.threads_u for r in curve if r.occupancy == best]
+        assert tstar == expected
+        assert best == 1.0
+
+    def test_bicg_fermi_register_limited(self):
+        """Paper Table VII: BiCG/Fermi with 27 registers peaks at 0.75."""
+        curve = occupancy_curve(M2050, regs_u=27)
+        assert max(r.occupancy for r in curve) == 0.75
+
+
+class TestAgreementWithHardware:
+    """The analysis model (Eqs. 1-5) and the hardware block scheduler are
+    independent implementations and must agree everywhere."""
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        gi=st.integers(0, 3),
+        warps=st.integers(1, 32),
+        regs=st.integers(0, 80),
+        smem=st.integers(0, 49152),
+    )
+    def test_blocks_agree(self, gi, warps, regs, smem):
+        gpu = ALL_GPUS[gi]
+        threads = warps * 32
+        expected = hw_resident_blocks(gpu, threads, regs, smem)
+        got = occupancy(gpu, threads, regs, smem).active_blocks
+        assert got == expected
+
+    @settings(max_examples=100, deadline=None)
+    @given(gi=st.integers(0, 3), warps=st.integers(1, 32),
+           regs=st.integers(0, 64))
+    def test_occupancy_agrees(self, gi, warps, regs):
+        gpu = ALL_GPUS[gi]
+        threads = warps * 32
+        assert occupancy(gpu, threads, regs).occupancy == pytest.approx(
+            hw_occupancy(gpu, threads, regs)
+        )
+
+
+class TestInvariants:
+    @settings(max_examples=150, deadline=None)
+    @given(gi=st.integers(0, 3), threads=st.integers(1, 1024),
+           regs=st.integers(0, 255), smem=st.integers(0, 49152))
+    def test_occupancy_in_unit_interval(self, gi, threads, regs, smem):
+        r = occupancy(ALL_GPUS[gi], threads, regs, smem)
+        assert 0.0 <= r.occupancy <= 1.0
+
+    @settings(max_examples=100, deadline=None)
+    @given(gi=st.integers(0, 3), warps=st.integers(1, 32),
+           regs=st.integers(1, 200))
+    def test_monotone_in_registers(self, gi, warps, regs):
+        gpu = ALL_GPUS[gi]
+        t = warps * 32
+        a = occupancy(gpu, t, regs).occupancy
+        b = occupancy(gpu, t, regs + 8).occupancy
+        assert b <= a

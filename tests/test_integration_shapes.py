@@ -1,0 +1,122 @@
+"""Integration tests asserting the paper's headline qualitative results.
+
+These are the claims EXPERIMENTS.md reports; if a refactor breaks one of
+them, the reproduction no longer reproduces the paper.
+"""
+
+import numpy as np
+import pytest
+
+from repro.arch import K20
+from repro.autotune import Autotuner
+from repro.autotune.space import Parameter, ParameterSpace
+from repro.core.analyzer import StaticAnalyzer
+from repro.kernels import get_benchmark
+from repro.sim.timing import LaunchConfig, TimingModel
+from repro.codegen.compiler import CompileOptions, compile_module
+
+
+def _rank_medians(name: str, size: int):
+    space = ParameterSpace([
+        Parameter("TC", tuple(range(32, 1025, 32))),
+        Parameter("BC", (48, 144)),
+        Parameter("UIF", (1,)),
+        Parameter("PL", (16,)),
+        Parameter("CFLAGS", ("",)),
+    ])
+    bm = get_benchmark(name)
+    tuner = Autotuner(bm, K20, space=space)
+    res = tuner.sweep(sizes=(size,))
+    r1 = [rv.measurement.config["TC"] for rv in res.ranked() if rv.rank == 1]
+    r2 = [rv.measurement.config["TC"] for rv in res.ranked() if rv.rank == 2]
+    return float(np.median(r1)), float(np.median(r2))
+
+
+class TestThreadPreferences:
+    """Fig. 4 / Table V: who prefers which thread range."""
+
+    @pytest.mark.parametrize("name", ["atax", "bicg"])
+    def test_memory_kernels_prefer_lower_threads(self, name):
+        m1, m2 = _rank_medians(name, 512)
+        assert m1 < m2
+        assert m1 <= 480
+
+    @pytest.mark.parametrize("name,size", [("matvec2d", 512),
+                                           ("ex14fj", 64)])
+    def test_compute_kernels_prefer_upper_threads(self, name, size):
+        m1, m2 = _rank_medians(name, size)
+        assert m1 > m2
+
+
+class TestIntensityRule:
+    """Sec. III-C: the 4.0 threshold sends kernels to the correct range."""
+
+    def test_rule_agrees_with_empirical_preference(self):
+        """The rule-selected thread range must contain a variant within
+        15% of the exhaustive optimum (reduced space)."""
+        from repro.experiments.common import reduced_space
+
+        for name, size in (("atax", 256), ("ex14fj", 32)):
+            bm = get_benchmark(name)
+            tuner = Autotuner(bm, K20, space=reduced_space())
+            ex = tuner.tune(size=size, search="exhaustive")
+            rb = tuner.tune(size=size, search="static", use_rule=True)
+            assert rb.best_seconds <= 1.15 * ex.best_seconds, name
+
+
+class TestUnlaunchableConfigs:
+    def test_block_too_large(self):
+        bm = get_benchmark("atax")
+        mod = compile_module("atax", list(bm.specs), CompileOptions(gpu=K20))
+        tm = TimingModel(K20)
+        t = tm.kernel_time(mod.kernels[0], LaunchConfig(2048, 24), {"N": 64})
+        assert t.unlaunchable and t.seconds == float("inf")
+
+
+class TestFastMathHelpsEx14fj:
+    def test_fast_math_faster(self):
+        """-use_fast_math shortens the exp-heavy kernel measurably."""
+        bm = get_benchmark("ex14fj")
+        env = bm.param_env(64)
+        tm = TimingModel(K20)
+        slow = compile_module("e", list(bm.specs),
+                              CompileOptions(gpu=K20, fast_math=False))
+        fast = compile_module("e", list(bm.specs),
+                              CompileOptions(gpu=K20, fast_math=True))
+        launch = LaunchConfig(256, 96)
+        assert (tm.benchmark_time(fast, launch, env)
+                < tm.benchmark_time(slow, launch, env))
+
+
+class TestUnrollingHelps:
+    def test_some_unrolling_beats_none_for_loop_kernels(self):
+        bm = get_benchmark("atax")
+        env = bm.param_env(512)
+        tm = TimingModel(K20)
+        launch = LaunchConfig(128, 48)
+        t1 = tm.benchmark_time(
+            compile_module("a", list(bm.specs),
+                           CompileOptions(gpu=K20, unroll_factor=1)),
+            launch, env)
+        t4 = tm.benchmark_time(
+            compile_module("a", list(bm.specs),
+                           CompileOptions(gpu=K20, unroll_factor=4)),
+            launch, env)
+        assert t4 < t1
+
+
+class TestStaticAnalysisIsStatic:
+    def test_no_measurement_during_analysis(self, monkeypatch):
+        """The analyzer must never call the timing/measurement substrate."""
+        import repro.sim.timing as timing
+
+        def boom(*a, **k):  # pragma: no cover - should never run
+            raise AssertionError("static analysis executed a kernel!")
+
+        monkeypatch.setattr(timing, "measure_benchmark", boom)
+        monkeypatch.setattr(timing, "simulate_benchmark_time", boom)
+        bm = get_benchmark("ex14fj")
+        rep = StaticAnalyzer(K20).analyze(
+            list(bm.specs), bm.param_env(16), name="ex14fj"
+        )
+        assert rep.suggestion.threads

@@ -1,0 +1,117 @@
+"""Benchmark kernel correctness: every Table IV kernel, every architecture,
+unrolled and fast-math variants, validated against the NumPy references by
+full SIMT emulation."""
+
+import numpy as np
+import pytest
+
+from repro.arch import ALL_GPUS, K20
+from repro.codegen.compiler import CompileOptions, compile_module
+from repro.kernels import BENCHMARKS, Benchmark, get_benchmark
+from repro.kernels.base import register
+from repro.sim.emulator import run_benchmark_emulated
+from repro.util.rng import rng_for
+
+from tests.conftest import make_benchmark_run
+
+ALL_NAMES = ("atax", "bicg", "matvec2d", "ex14fj")
+
+
+class TestRegistry:
+    def test_all_four_registered(self):
+        assert set(ALL_NAMES) <= set(BENCHMARKS)
+
+    def test_lookup_case_insensitive(self):
+        assert get_benchmark("ATAX") is get_benchmark("atax")
+
+    def test_unknown_benchmark(self):
+        with pytest.raises(KeyError, match="unknown benchmark"):
+            get_benchmark("gemm")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            register(BENCHMARKS["atax"])
+
+    def test_paper_sizes(self):
+        assert get_benchmark("atax").sizes == (32, 64, 128, 256, 512)
+        assert get_benchmark("ex14fj").sizes == (8, 16, 32, 64, 128)
+
+    def test_work_extent(self):
+        assert get_benchmark("atax").work_extent(64) == 64
+        assert get_benchmark("matvec2d").work_extent(64) == 64 * 64
+        assert get_benchmark("ex14fj").work_extent(8) == 512
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+class TestCorrectness:
+    def test_reference_shapes(self, name):
+        bm, n, inputs, ref = make_benchmark_run(name)
+        for out in bm.output_names:
+            assert out in ref
+            assert ref[out].shape == inputs[out].shape
+
+    def test_emulation_matches_reference_default(self, name):
+        bm, n, inputs, ref = make_benchmark_run(name)
+        mod = compile_module(name, list(bm.specs), CompileOptions(gpu=K20))
+        outs, res = run_benchmark_emulated(mod, inputs, tc=32, bc=4)
+        for out in bm.output_names:
+            np.testing.assert_allclose(
+                outs[out], ref[out], rtol=2e-3, atol=2e-4,
+                err_msg=f"{name}:{out}",
+            )
+        assert res.total_thread_instructions > 0
+
+    @pytest.mark.parametrize("gpu_name", [g.name for g in ALL_GPUS])
+    def test_emulation_all_architectures(self, name, gpu_name):
+        from repro.arch import GPUS_BY_NAME
+
+        gpu = GPUS_BY_NAME[gpu_name]
+        bm, n, inputs, ref = make_benchmark_run(name)
+        mod = compile_module(name, list(bm.specs), CompileOptions(gpu=gpu))
+        outs, _ = run_benchmark_emulated(mod, inputs, tc=64, bc=2)
+        for out in bm.output_names:
+            np.testing.assert_allclose(
+                outs[out], ref[out], rtol=2e-3, atol=2e-4
+            )
+
+    @pytest.mark.parametrize("uf,fm", [(2, False), (3, True), (5, True)])
+    def test_emulation_tuned_variants(self, name, uf, fm):
+        bm, n, inputs, ref = make_benchmark_run(name)
+        mod = compile_module(
+            name, list(bm.specs),
+            CompileOptions(gpu=K20, unroll_factor=uf, fast_math=fm),
+        )
+        outs, _ = run_benchmark_emulated(mod, inputs, tc=32, bc=4)
+        for out in bm.output_names:
+            np.testing.assert_allclose(
+                outs[out], ref[out], rtol=3e-3, atol=3e-4
+            )
+
+    @pytest.mark.parametrize("tc,bc", [(32, 1), (96, 3), (256, 2), (1024, 1)])
+    def test_launch_configuration_invariance(self, name, tc, bc):
+        """The computed result must not depend on the launch config."""
+        bm, n, inputs, ref = make_benchmark_run(name)
+        mod = compile_module(name, list(bm.specs), CompileOptions(gpu=K20))
+        outs, _ = run_benchmark_emulated(mod, inputs, tc=tc, bc=bc)
+        for out in bm.output_names:
+            np.testing.assert_allclose(
+                outs[out], ref[out], rtol=2e-3, atol=2e-4
+            )
+
+
+class TestDivergenceBehaviour:
+    def test_ex14fj_diverges_at_boundaries(self):
+        bm, n, inputs, _ = make_benchmark_run("ex14fj")
+        mod = compile_module("ex14fj", list(bm.specs),
+                             CompileOptions(gpu=K20))
+        _, res = run_benchmark_emulated(mod, inputs, tc=64, bc=2)
+        assert res.divergent_branches > 0
+        assert res.simd_efficiency < 1.0
+
+    def test_matvec2d_fully_converged(self):
+        bm, n, inputs, _ = make_benchmark_run("matvec2d")
+        mod = compile_module("matvec2d", list(bm.specs),
+                             CompileOptions(gpu=K20))
+        _, res = run_benchmark_emulated(mod, inputs, tc=32, bc=8)
+        # N^2 iterations divide the warp count evenly: no divergence at all
+        assert res.simd_efficiency == 1.0

@@ -1,0 +1,145 @@
+"""Tests for CFG construction, dominators, loops, divergence detection."""
+
+import pytest
+
+from repro.arch import K20
+from repro.codegen.compiler import CompileOptions, compile_kernel
+from repro.kernels import get_benchmark
+from repro.ptx.cfg import CFG, ENTRY, EXIT, build_cfg
+from repro.ptx.parser import parse_kernel
+
+LOOP_KERNEL = """
+.kernel loopk(.param .s32 N, .param .f32* x)
+.reg 8
+.shared 0
+.target sm_35
+{
+  ld.param.s32 %r1, [N];
+  ld.param.s64 %rd1, [x];
+  mov.s32 %r2, 0;
+  setp.ge.s32 %p1, %r2, %r1;
+  @%p1 bra $L_exit;
+$L_loop:
+  add.s32 %r2, %r2, 1;
+  setp.lt.s32 %p1, %r2, %r1;
+  @%p1 bra $L_loop;
+$L_exit:
+  exit;
+}
+"""
+
+DIVERGE_KERNEL = """
+.kernel divk(.param .f32* x)
+.reg 8
+.shared 0
+.target sm_35
+{
+  ld.param.s64 %rd1, [x];
+  mov.s32 %r1, %tid.x;
+  and.s32 %r2, %r1, 1;
+  setp.eq.s32 %p1, %r2, 0;
+  @!%p1 bra $L_else;
+  mov.f32 %f1, 1.0;
+  bra $L_end;
+$L_else:
+  mov.f32 %f1, 2.0;
+$L_end:
+  mul.wide.s32 %rd2, %r1, 4;
+  add.s64 %rd3, %rd1, %rd2;
+  st.global.f32 [%rd3], %f1;
+  exit;
+}
+"""
+
+UNIFORM_BRANCH_KERNEL = """
+.kernel unik(.param .s32 N, .param .f32* x)
+.reg 8
+.shared 0
+.target sm_35
+{
+  ld.param.s32 %r1, [N];
+  ld.param.s64 %rd1, [x];
+  setp.gt.s32 %p1, %r1, 10;
+  @!%p1 bra $L_end;
+  mov.f32 %f1, 1.0;
+  st.global.f32 [%rd1], %f1;
+$L_end:
+  exit;
+}
+"""
+
+
+class TestBlockStructure:
+    def test_loop_kernel_blocks(self):
+        cfg = build_cfg(parse_kernel(LOOP_KERNEL))
+        assert cfg.block_count() == 3  # preamble, loop, exit
+        assert "$L_loop" in cfg.blocks
+        assert "$L_exit" in cfg.blocks
+
+    def test_entry_and_exit_wiring(self):
+        cfg = build_cfg(parse_kernel(LOOP_KERNEL))
+        assert cfg.entry_block not in (ENTRY, EXIT)
+        assert cfg.graph.has_edge(ENTRY, cfg.entry_block)
+
+    def test_successors_of_conditional(self):
+        cfg = build_cfg(parse_kernel(DIVERGE_KERNEL))
+        entry = cfg.entry_block
+        succ = set(cfg.successors(entry))
+        assert "$L_else" in succ
+        assert len(succ) == 2
+
+    def test_empty_body_rejected(self):
+        from repro.ptx.module import KernelIR
+
+        with pytest.raises(ValueError, match="empty body"):
+            build_cfg(KernelIR("k", (), []))
+
+
+class TestDominators:
+    def test_loop_header_dominates_latch(self):
+        cfg = build_cfg(parse_kernel(LOOP_KERNEL))
+        assert cfg.dominates(cfg.entry_block, "$L_loop")
+        assert cfg.dominates("$L_loop", "$L_loop")
+        assert not cfg.dominates("$L_exit", "$L_loop")
+
+    def test_back_edge_detection(self):
+        cfg = build_cfg(parse_kernel(LOOP_KERNEL))
+        assert cfg.back_edges() == [("$L_loop", "$L_loop")]
+
+    def test_natural_loops(self):
+        cfg = build_cfg(parse_kernel(LOOP_KERNEL))
+        loops = cfg.natural_loops()
+        assert len(loops) == 1
+        assert loops[0].header == "$L_loop"
+        assert loops[0].depth == 1
+        assert "$L_loop" in loops[0]
+
+    def test_nested_loop_depth(self, matvec_spec):
+        ck = compile_kernel(matvec_spec, CompileOptions(gpu=K20))
+        cfg = build_cfg(ck.ir)
+        loops = cfg.natural_loops()
+        assert len(loops) == 2  # grid-stride loop + inner j loop
+        assert sorted(lp.depth for lp in loops) == [1, 2]
+
+    def test_reconvergence_point_of_if(self):
+        cfg = build_cfg(parse_kernel(DIVERGE_KERNEL))
+        entry = cfg.entry_block
+        assert cfg.reconvergence_point(entry) == "$L_end"
+
+
+class TestDivergence:
+    def test_tid_dependent_branch_flagged(self):
+        cfg = build_cfg(parse_kernel(DIVERGE_KERNEL))
+        assert cfg.divergent_branch_blocks() == [cfg.entry_block]
+
+    def test_uniform_branch_not_flagged(self):
+        cfg = build_cfg(parse_kernel(UNIFORM_BRANCH_KERNEL))
+        assert cfg.conditional_branch_blocks()  # it IS conditional
+        assert cfg.divergent_branch_blocks() == []  # but not divergent
+
+    def test_ex14fj_boundary_branch_divergent(self):
+        bm = get_benchmark("ex14fj")
+        ck = compile_kernel(bm.specs[0], CompileOptions(gpu=K20))
+        cfg = build_cfg(ck.ir)
+        # grid-stride guard + boundary check are both thread-dependent
+        assert len(cfg.divergent_branch_blocks()) >= 2

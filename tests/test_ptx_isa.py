@@ -1,0 +1,92 @@
+"""Tests for opcode categorization and ISA metadata."""
+
+import pytest
+
+from repro.arch.throughput import InstrCategory
+from repro.ptx.isa import (
+    DType,
+    MemSpace,
+    Opcode,
+    SFU_OPS,
+    TERMINATORS,
+    NO_DEST,
+    categorize,
+)
+
+
+class TestDType:
+    def test_sizes(self):
+        assert DType.F32.nbytes == 4
+        assert DType.F64.nbytes == 8
+        assert DType.S32.nbytes == 4
+        assert DType.S64.nbytes == 8
+        assert DType.PRED.nbytes == 1
+
+    def test_class_predicates(self):
+        assert DType.F32.is_float and not DType.F32.is_int
+        assert DType.S64.is_int and DType.S64.is_64bit
+        assert not DType.F32.is_64bit and DType.F64.is_64bit
+
+
+class TestCategorize:
+    @pytest.mark.parametrize(
+        "op,dt,cat",
+        [
+            (Opcode.ADD, DType.F32, InstrCategory.FP32),
+            (Opcode.FMA, DType.F32, InstrCategory.FP32),
+            (Opcode.MUL, DType.F64, InstrCategory.FP64),
+            (Opcode.ADD, DType.S32, InstrCategory.INT_ADD32),
+            (Opcode.MAD, DType.S32, InstrCategory.INT_ADD32),
+            (Opcode.MULWIDE, DType.S64, InstrCategory.INT_ADD32),
+            (Opcode.MIN, DType.F32, InstrCategory.COMP_MINMAX),
+            (Opcode.SELP, DType.S32, InstrCategory.COMP_MINMAX),
+            (Opcode.SHL, DType.S32, InstrCategory.SHIFT),
+            (Opcode.AND, DType.PRED, InstrCategory.SHIFT),
+            (Opcode.CVT, DType.S64, InstrCategory.CONV64),
+            (Opcode.CVT, DType.F32, InstrCategory.CONV32),
+            (Opcode.EX2, DType.F32, InstrCategory.LOG_SIN_COS),
+            (Opcode.DIV, DType.S32, InstrCategory.LOG_SIN_COS),
+            (Opcode.SQRT, DType.F32, InstrCategory.LOG_SIN_COS),
+            (Opcode.LD, DType.F32, InstrCategory.LDST),
+            (Opcode.ST, DType.F32, InstrCategory.LDST),
+            (Opcode.RED, DType.F32, InstrCategory.LDST),
+            (Opcode.SETP, DType.S32, InstrCategory.PRED_CTRL),
+            (Opcode.BRA, None, InstrCategory.PRED_CTRL),
+            (Opcode.BAR, None, InstrCategory.PRED_CTRL),
+            (Opcode.EXIT, None, InstrCategory.PRED_CTRL),
+            (Opcode.MOV, DType.S32, InstrCategory.MOVE),
+        ],
+    )
+    def test_mapping(self, op, dt, cat):
+        assert categorize(op, dt) is cat
+
+    def test_every_opcode_categorizable(self):
+        """No opcode may fall through the categorization."""
+        for op in Opcode:
+            for dt in (DType.F32, DType.F64, DType.S32, DType.S64, None):
+                try:
+                    cat = categorize(op, dt)
+                except ValueError:
+                    continue
+                assert isinstance(cat, InstrCategory)
+                break
+            else:
+                pytest.fail(f"{op} not categorizable with any dtype")
+
+    def test_sfu_ops_always_logsincos(self):
+        for op in SFU_OPS:
+            assert categorize(op, DType.F32) is InstrCategory.LOG_SIN_COS
+
+
+class TestStructuralSets:
+    def test_terminators(self):
+        assert Opcode.BRA in TERMINATORS
+        assert Opcode.EXIT in TERMINATORS
+        assert Opcode.RET in TERMINATORS
+        assert Opcode.ADD not in TERMINATORS
+
+    def test_no_dest(self):
+        for op in (Opcode.ST, Opcode.RED, Opcode.BRA, Opcode.BAR,
+                   Opcode.RET, Opcode.EXIT):
+            assert op in NO_DEST
+        assert Opcode.LD not in NO_DEST

@@ -1,0 +1,106 @@
+"""Round-trip tests for the textual assembly (printer <-> parser)."""
+
+import pytest
+
+from repro.codegen.compiler import CompileOptions, compile_kernel
+from repro.arch import K20, M2050
+from repro.ptx.parser import ParseError, parse_kernel, parse_module
+from repro.ptx.printer import print_kernel, print_module
+from repro.ptx.module import PTXModule
+
+SAMPLE = """
+.kernel saxpy(.param .s32 N, .param .f32* x, .param .f32* y)
+.reg 10
+.shared 0
+.target sm_35
+{
+  ld.param.s32 %r1, [N];
+  ld.param.s64 %rd1, [x];
+  ld.param.s64 %rd2, [y];
+  mov.s32 %r2, %tid.x;
+  setp.ge.s32 %p1, %r2, %r1;
+  @%p1 bra $L_exit;
+  mul.wide.s32 %rd3, %r2, 4;
+  add.s64 %rd4, %rd1, %rd3;
+  ld.global.f32 %f1, [%rd4];
+  fma.f32 %f2, %f1, 2.0, %f1;
+  add.s64 %rd5, %rd2, %rd3;
+  st.global.f32 [%rd5], %f2;
+  red.global.add.f32 [%rd5], %f2;
+$L_exit:
+  exit;
+}
+"""
+
+
+class TestParse:
+    def test_parse_sample(self):
+        k = parse_kernel(SAMPLE)
+        assert k.name == "saxpy"
+        assert [p.name for p in k.params] == ["N", "x", "y"]
+        assert k.params[1].is_pointer and not k.params[0].is_pointer
+        assert k.regs_per_thread == 10
+        assert k.target_sm == 35
+        assert len(k.instructions()) == 14
+        assert k.labels() == ["$L_exit"]
+
+    def test_roundtrip_sample(self):
+        k1 = parse_kernel(SAMPLE)
+        k2 = parse_kernel(print_kernel(k1))
+        assert print_kernel(k1) == print_kernel(k2)
+
+    def test_module_roundtrip(self):
+        k = parse_kernel(SAMPLE)
+        mod = PTXModule("m", target_sm=35)
+        mod.add(k)
+        text = print_module(mod)
+        mod2 = parse_module(text)
+        assert sorted(mod2.kernels) == ["saxpy"]
+
+    def test_comments_ignored(self):
+        text = SAMPLE.replace(
+            "  exit;", "  exit;  // trailing comment"
+        )
+        parse_kernel(text)
+
+
+class TestCompiledRoundtrip:
+    @pytest.mark.parametrize("gpu", [M2050, K20])
+    @pytest.mark.parametrize("name", ["atax", "ex14fj", "matvec2d"])
+    def test_compiled_kernels_roundtrip(self, gpu, name):
+        from repro.kernels import get_benchmark
+
+        bm = get_benchmark(name)
+        for spec in bm.specs:
+            ck = compile_kernel(spec, CompileOptions(gpu=gpu))
+            text = ck.disassembly()
+            reparsed = parse_kernel(text)
+            assert print_kernel(reparsed) == text
+            assert reparsed.regs_per_thread == ck.regs_per_thread
+            # categories survive the round trip
+            assert (reparsed.static_category_counts()
+                    == ck.ir.static_category_counts())
+
+
+class TestParseErrors:
+    @pytest.mark.parametrize(
+        "text,match",
+        [
+            ("garbage line", "instruction outside"),
+            (".kernel broken(\n", "malformed .kernel"),
+            (".kernel k()\n{\n  frobnicate.s32 %r1;\n}", "unknown opcode"),
+            (".kernel k()\n{\n  setp.zz.s32 %p1, %r1, %r2;\n}",
+             "malformed setp"),
+            (".kernel k()\n{\n  ld.galactic.f32 %f1, [%rd1];\n}",
+             "malformed ld"),
+            (".kernel k()\n{", "unterminated"),
+        ],
+    )
+    def test_errors(self, text, match):
+        with pytest.raises(ParseError, match=match):
+            parse_module(text)
+
+    def test_parse_kernel_rejects_multiple(self):
+        two = SAMPLE + SAMPLE.replace("saxpy", "other")
+        with pytest.raises(ParseError, match="exactly one"):
+            parse_kernel(two)

@@ -1,0 +1,84 @@
+"""Tests for the IR verifier: valid code passes, violations raise."""
+
+import pytest
+
+from repro.arch import ALL_GPUS
+from repro.codegen.compiler import CompileOptions, compile_kernel
+from repro.kernels import BENCHMARKS
+from repro.ptx.parser import parse_kernel
+from repro.ptx.verifier import VerificationError, verify_kernel
+
+
+def _kernel(body: str, params=".param .s32 N, .param .f32* x", regs=8):
+    text = (
+        f".kernel k({params})\n.reg {regs}\n.shared 0\n.target sm_35\n"
+        "{\n" + body + "\n}"
+    )
+    return parse_kernel(text)
+
+
+class TestValidKernels:
+    def test_all_compiled_benchmarks_verify(self):
+        """Every benchmark x architecture compilation must verify."""
+        for name, bm in BENCHMARKS.items():
+            for gpu in ALL_GPUS:
+                for spec in bm.specs:
+                    ck = compile_kernel(
+                        spec,
+                        CompileOptions(gpu=gpu, unroll_factor=2,
+                                       fast_math=True),
+                    )
+                    verify_kernel(ck.ir)  # compile already verifies; explicit
+
+    def test_minimal_kernel(self):
+        verify_kernel(_kernel("  exit;"))
+
+
+class TestViolations:
+    def test_missing_terminator(self):
+        k = _kernel("  ld.param.s32 %r1, [N];")
+        with pytest.raises(VerificationError, match="terminator"):
+            verify_kernel(k)
+
+    def test_undefined_label(self):
+        k = _kernel("  bra $L_nowhere;\n  exit;")
+        with pytest.raises(VerificationError, match="undefined label"):
+            verify_kernel(k)
+
+    def test_read_before_definition(self):
+        k = _kernel("  add.s32 %r1, %r2, %r3;\n  exit;")
+        with pytest.raises(VerificationError, match="read before definition"):
+            verify_kernel(k)
+
+    def test_unknown_parameter(self):
+        k = _kernel("  ld.param.s32 %r1, [Q];\n  exit;")
+        with pytest.raises(VerificationError, match="unknown parameter"):
+            verify_kernel(k)
+
+    def test_type_mismatch(self):
+        k = _kernel(
+            "  ld.param.s32 %r1, [N];\n"
+            "  add.f32 %f1, %r1, %r1;\n  exit;"
+        )
+        with pytest.raises(VerificationError, match="type mismatch"):
+            verify_kernel(k)
+
+    def test_register_budget_exceeded(self):
+        # declares 2 registers but uses 3 distinct 32-bit slots
+        k = _kernel(
+            "  ld.param.s32 %r1, [N];\n"
+            "  add.s32 %r2, %r1, 1;\n"
+            "  add.s32 %r3, %r2, 1;\n"
+            "  st.global.f32 [%rd1], %f1;\n  exit;",
+            regs=2,
+        )
+        with pytest.raises(VerificationError):
+            verify_kernel(k)
+
+    def test_setp_dst_must_be_pred(self):
+        k = _kernel(
+            "  ld.param.s32 %r1, [N];\n"
+            "  setp.lt.s32 %r2, %r1, %r1;\n  exit;"
+        )
+        with pytest.raises(VerificationError, match="setp dst"):
+            verify_kernel(k)

@@ -1,0 +1,142 @@
+"""The keystone validation: closed-form exact counts == emulator counts.
+
+Also covers branch-fraction exactness (ex14FJ boundary formula), the
+affine-in-threads cache, and warp-level count semantics.
+"""
+
+import numpy as np
+import pytest
+
+from repro.arch import K20, M2050
+from repro.codegen.compiler import CompileOptions, compile_module
+from repro.kernels import get_benchmark
+from repro.sim.counting import exact_branch_fraction, exact_counts
+from repro.sim.emulator import run_benchmark_emulated
+from repro.codegen.regions import RegionKind
+
+from tests.conftest import make_benchmark_run
+
+ALL_NAMES = ("atax", "bicg", "matvec2d", "ex14fj")
+
+
+def _model_totals(mod, env, tc, bc):
+    from collections import Counter
+
+    total = Counter()
+    reg_ops = 0.0
+    for ck in mod:
+        dc = exact_counts(ck, env, tc, bc)
+        for cat, v in dc.by_category.items():
+            total[cat] += v
+        reg_ops += dc.reg_ops
+    return total, reg_ops
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+@pytest.mark.parametrize("tc,bc", [(32, 4), (64, 3), (96, 2)])
+class TestModelMatchesEmulator:
+    def test_category_counts_exact(self, name, tc, bc):
+        bm, n, inputs, _ = make_benchmark_run(name)
+        env = bm.param_env(n)
+        mod = compile_module(name, list(bm.specs), CompileOptions(gpu=K20))
+        _, emu = run_benchmark_emulated(mod, inputs, tc=tc, bc=bc)
+        model, model_regs = _model_totals(mod, env, tc, bc)
+        for cat in set(model) | set(emu.thread_counts):
+            assert model.get(cat, 0) == pytest.approx(
+                emu.thread_counts.get(cat, 0), abs=0.5
+            ), f"{name} {cat} tc={tc} bc={bc}"
+        assert model_regs == pytest.approx(emu.reg_ops, abs=0.5)
+
+
+class TestModelMatchesEmulatorVariants:
+    @pytest.mark.parametrize("uf,fm", [(3, False), (2, True)])
+    def test_unrolled_fast_math(self, uf, fm):
+        bm, n, inputs, _ = make_benchmark_run("ex14fj")
+        env = bm.param_env(n)
+        mod = compile_module(
+            "ex14fj", list(bm.specs),
+            CompileOptions(gpu=K20, unroll_factor=uf, fast_math=fm),
+        )
+        _, emu = run_benchmark_emulated(mod, inputs, tc=64, bc=2)
+        model, _ = _model_totals(mod, env, 64, 2)
+        for cat in set(model) | set(emu.thread_counts):
+            assert model.get(cat, 0) == pytest.approx(
+                emu.thread_counts.get(cat, 0), abs=0.5
+            )
+
+    def test_fermi_addressing(self):
+        bm, n, inputs, _ = make_benchmark_run("atax")
+        env = bm.param_env(n)
+        mod = compile_module("atax", list(bm.specs),
+                             CompileOptions(gpu=M2050))
+        _, emu = run_benchmark_emulated(mod, inputs, tc=32, bc=2)
+        model, _ = _model_totals(mod, env, 32, 2)
+        for cat in set(model) | set(emu.thread_counts):
+            assert model.get(cat, 0) == pytest.approx(
+                emu.thread_counts.get(cat, 0), abs=0.5
+            )
+
+
+class TestBranchFractions:
+    def test_ex14fj_boundary_fraction_exact(self):
+        """The THEN fraction must equal 1 - (N-2)^3 / N^3 exactly."""
+        bm = get_benchmark("ex14fj")
+        for n in (8, 16, 32):
+            env = bm.param_env(n)
+            mod = compile_module("ex14fj", list(bm.specs),
+                                 CompileOptions(gpu=K20))
+            ck = mod.kernels[0]
+            then_regions = [
+                r for r in ck.root_region.walk()
+                if r.kind is RegionKind.THEN
+            ]
+            assert len(then_regions) == 1
+            ploop = next(
+                r for r in ck.root_region.walk()
+                if r.kind is RegionKind.PLOOP
+            )
+            frac = exact_branch_fraction(then_regions[0], env, [ploop])
+            expected = 1.0 - (n - 2) ** 3 / n**3
+            assert frac == pytest.approx(expected, abs=1e-12)
+
+    def test_warp_level_at_least_thread_level(self):
+        bm = get_benchmark("ex14fj")
+        env = bm.param_env(16)
+        mod = compile_module("ex14fj", list(bm.specs),
+                             CompileOptions(gpu=K20))
+        ck = mod.kernels[0]
+        t = exact_counts(ck, env, 64, 4, warp_level=False)
+        w = exact_counts(ck, env, 64, 4, warp_level=True)
+        for cat, n in t.by_category.items():
+            assert w.by_category[cat] >= n - 0.5
+
+
+class TestAffineCache:
+    def test_counts_affine_in_threads(self):
+        """counts(T) must be exactly affine: the cached reconstruction at
+        any T equals a direct evaluation."""
+        from repro.codegen.regions import evaluate_region_tree
+
+        bm = get_benchmark("atax")
+        env = bm.param_env(32)
+        mod = compile_module("atax", list(bm.specs), CompileOptions(gpu=K20))
+        ck = mod.kernels[0]
+        via_cache = exact_counts(ck, env, 96, 7)
+        from repro.sim.counting import exact_branch_fraction as ebf
+
+        direct = evaluate_region_tree(
+            ck.root_region, env, total_threads=96 * 7, branch_fraction=ebf
+        )
+        for cat, v in direct.by_category.items():
+            assert via_cache.by_category[cat] == pytest.approx(v)
+        assert via_cache.reg_ops == pytest.approx(direct.reg_ops)
+        assert via_cache.dram_bytes == pytest.approx(direct.dram_bytes)
+
+    def test_repeat_calls_consistent(self):
+        bm = get_benchmark("matvec2d")
+        env = bm.param_env(16)
+        mod = compile_module("matvec2d", list(bm.specs),
+                             CompileOptions(gpu=K20))
+        a = exact_counts(mod.kernels[0], env, 32, 2)
+        b = exact_counts(mod.kernels[0], env, 32, 2)
+        assert a.by_category == b.by_category

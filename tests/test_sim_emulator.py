@@ -1,0 +1,159 @@
+"""Tests for the SIMT emulator beyond reference correctness: divergence
+accounting, barriers with shared memory, exit semantics, guards."""
+
+import numpy as np
+import pytest
+
+from repro.arch import K20
+from repro.codegen import dsl
+from repro.codegen.compiler import CompileOptions, compile_kernel
+from repro.ptx.isa import DType
+from repro.sim.emulator import EmulationError, emulate_kernel
+from repro.sim.memory import DeviceMemory
+
+
+def _run(spec, inputs_arrays, scalars, tc, bc, gpu=K20, **copts):
+    ck = compile_kernel(spec, CompileOptions(gpu=gpu, **copts))
+    memory = DeviceMemory()
+    for name, arr in inputs_arrays.items():
+        memory.alloc(name, arr)
+    params = dict(scalars)
+    for name in inputs_arrays:
+        params[name] = None
+    res, _ = emulate_kernel(ck, params, tc=tc, bc=bc, memory=memory)
+    return res, memory, ck
+
+
+class TestBasics:
+    def test_partial_last_warp(self):
+        """Launching a non-multiple-of-32 block works; idle lanes write
+        nothing."""
+        N = dsl.sparam("N")
+        y = dsl.farray("y")
+        n = dsl.ivar("n")
+        spec = dsl.kernel("iota", [N, y],
+                          [dsl.pfor(n, N, [y.store(n, dsl.to_f32(n))])])
+        res, mem, _ = _run(spec, {"y": np.zeros(40, np.float32)},
+                           {"N": 40}, tc=48, bc=1)
+        np.testing.assert_array_equal(
+            mem.allocation("y").data, np.arange(40, dtype=np.float32)
+        )
+
+    def test_grid_stride_covers_all_iterations(self):
+        N = dsl.sparam("N")
+        y = dsl.farray("y")
+        n = dsl.ivar("n")
+        spec = dsl.kernel("iota", [N, y],
+                          [dsl.pfor(n, N, [y.store(n, dsl.to_f32(n * 2))])])
+        # 100 iterations on 2 blocks x 32 threads: each thread loops
+        res, mem, _ = _run(spec, {"y": np.zeros(100, np.float32)},
+                           {"N": 100}, tc=32, bc=2)
+        np.testing.assert_array_equal(
+            mem.allocation("y").data,
+            (np.arange(100) * 2).astype(np.float32),
+        )
+
+    def test_missing_argument_raises(self, matvec_spec):
+        ck = compile_kernel(matvec_spec, CompileOptions(gpu=K20))
+        with pytest.raises(EmulationError, match="missing kernel argument"):
+            emulate_kernel(ck, {"N": 4}, tc=32, bc=1, memory=DeviceMemory())
+
+    def test_runaway_loop_guard(self):
+        N = dsl.sparam("N")
+        y = dsl.farray("y")
+        n, j = dsl.ivar("n"), dsl.ivar("j")
+        spec = dsl.kernel(
+            "big", [N, y],
+            [dsl.pfor(n, N, [
+                dsl.sfor(j, 1_000_000, [dsl.assign("t", j * 2)]),
+                y.store(n, 1.0),
+            ])],
+        )
+        ck = compile_kernel(spec, CompileOptions(gpu=K20))
+        memory = DeviceMemory()
+        memory.alloc("y", np.zeros(4, np.float32))
+        run_kwargs = dict(tc=32, bc=1, memory=memory)
+        with pytest.raises(EmulationError, match="runaway|exceeded"):
+            from repro.sim.emulator import _KernelRun
+
+            _KernelRun(ck, {"N": 4, "y": None}, 32, 1, memory).run(
+                max_issues_per_warp=1000
+            )
+
+
+class TestDivergenceAccounting:
+    def test_even_odd_divergence(self):
+        N = dsl.sparam("N")
+        y = dsl.farray("y")
+        n = dsl.ivar("n")
+        v = dsl.var("v", "f32")
+        heavy_then = [dsl.assign("v", v * 2.0 + 1.0) for _ in range(4)]
+        heavy_else = [dsl.assign("v", v * 3.0 - 1.0) for _ in range(4)]
+        spec = dsl.kernel("eo", [N, y], [
+            dsl.pfor(n, N, [
+                dsl.assign("v", dsl.to_f32(n)),
+                dsl.when((n % 2).eq(0), heavy_then, heavy_else),
+                y.store(n, v),
+            ]),
+        ])
+        res, mem, _ = _run(spec, {"y": np.zeros(64, np.float32)},
+                           {"N": 64}, tc=64, bc=1)
+        assert res.divergent_branches >= 2  # one per warp
+        assert res.simd_efficiency < 1.0
+        # both arms computed correctly despite serialization
+        out = mem.allocation("y").data
+        expect = np.arange(64, dtype=np.float64)
+        for _ in range(4):
+            even = expect * 2.0 + 1.0
+            odd = expect * 3.0 - 1.0
+            expect = np.where(np.arange(64) % 2 == 0, even, odd)
+        np.testing.assert_allclose(out, expect.astype(np.float32), rtol=1e-5)
+
+    def test_uniform_branch_no_divergence(self):
+        N = dsl.sparam("N")
+        flag = dsl.sparam("flag")
+        y = dsl.farray("y")
+        n = dsl.ivar("n")
+        v = dsl.var("v", "f32")
+        body = [dsl.assign("v", v + 1.0) for _ in range(4)]
+        spec = dsl.kernel("uni", [N, flag, y], [
+            dsl.pfor(n, N, [
+                dsl.assign("v", dsl.f32(0.0)),
+                dsl.when(flag.gt(0), body, [dsl.assign("v", v - 1.0)] * 4),
+                y.store(n, v),
+            ]),
+        ])
+        res, mem, _ = _run(spec, {"y": np.zeros(64, np.float32)},
+                           {"N": 64, "flag": 1}, tc=64, bc=1)
+        assert res.divergent_branches == 0
+        np.testing.assert_array_equal(
+            mem.allocation("y").data, np.full(64, 4.0, np.float32)
+        )
+
+
+class TestSharedMemoryAndBarrier:
+    def test_block_reverse_through_smem(self):
+        """Classic barrier test: write smem, sync, read reversed."""
+        from repro.codegen.ast_nodes import Load, Store
+
+        N = dsl.sparam("N")
+        x, y = dsl.farrays("x", "y")
+        n = dsl.ivar("n")
+        lane = dsl.ivar("lane")
+        spec = dsl.kernel(
+            "rev", [N, x, y],
+            [
+                dsl.pfor(n, N, [
+                    dsl.assign("lane", n % 64),
+                    Store("tile", lane, x[n]),
+                    dsl.sync(),
+                    y.store(n, Load("tile", 63 - lane, DType.F32)),
+                ]),
+            ],
+            smem_arrays=(("tile", 64, DType.F32),),
+        )
+        xs = np.arange(64, dtype=np.float32)
+        res, mem, ck = _run(spec, {"x": xs, "y": np.zeros(64, np.float32)},
+                            {"N": 64}, tc=64, bc=1)
+        assert ck.static_smem_bytes == 64 * 4
+        np.testing.assert_array_equal(mem.allocation("y").data, xs[::-1])

@@ -1,0 +1,108 @@
+"""Tests for the emulated device memory."""
+
+import numpy as np
+import pytest
+
+from repro.ptx.isa import DType
+from repro.sim.memory import DeviceMemory, MemoryError_
+
+
+@pytest.fixture
+def mem():
+    m = DeviceMemory()
+    m.alloc("a", np.arange(16, dtype=np.float32))
+    m.alloc("b", np.arange(8, dtype=np.int32))
+    return m
+
+
+def addrs_of(mem, name, idx):
+    base = mem.allocation(name).base
+    elem = mem.allocation(name).elem_size
+    return base + np.asarray(idx, dtype=np.int64) * elem
+
+
+class TestAllocation:
+    def test_bases_aligned_and_disjoint(self, mem):
+        a = mem.allocation("a")
+        b = mem.allocation("b")
+        assert a.base % DeviceMemory.ALIGN == 0
+        assert b.base % DeviceMemory.ALIGN == 0
+        assert b.base >= a.end
+
+    def test_unknown_allocation(self, mem):
+        with pytest.raises(KeyError):
+            mem.allocation("zzz")
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError, match="1-D"):
+            DeviceMemory().alloc("m", np.zeros((2, 2)))
+
+
+class TestGatherScatter:
+    def test_gather(self, mem):
+        idx = np.arange(32) % 16
+        addrs = addrs_of(mem, "a", idx)
+        mask = np.ones(32, dtype=bool)
+        out = mem.gather(addrs, mask, DType.F32)
+        np.testing.assert_array_equal(out, idx.astype(np.float32))
+
+    def test_gather_masked_lanes_read_zero(self, mem):
+        addrs = addrs_of(mem, "a", np.zeros(32, dtype=int))
+        mask = np.zeros(32, dtype=bool)
+        mask[3] = True
+        out = mem.gather(addrs, mask, DType.F32)
+        assert out[0] == 0.0 and out[3] == 0.0  # a[0] == 0 anyway
+        mask2 = np.zeros(32, dtype=bool)
+        mask2[5] = True
+        addrs5 = addrs_of(mem, "a", np.full(32, 7))
+        out2 = mem.gather(addrs5, mask2, DType.F32)
+        assert out2[5] == 7.0 and out2[0] == 0.0
+
+    def test_scatter(self, mem):
+        idx = np.arange(32) % 16
+        addrs = addrs_of(mem, "a", idx)
+        mask = np.ones(32, dtype=bool)
+        mem.scatter(addrs, mask, np.full(32, 9.0, dtype=np.float32),
+                    DType.F32)
+        np.testing.assert_array_equal(
+            mem.allocation("a").data, np.full(16, 9.0, dtype=np.float32)
+        )
+
+    def test_scatter_add_accumulates_duplicates(self, mem):
+        addrs = addrs_of(mem, "a", np.zeros(32, dtype=int))
+        mask = np.ones(32, dtype=bool)
+        mem.scatter_add(addrs, mask, np.ones(32, dtype=np.float32),
+                        DType.F32)
+        assert mem.allocation("a").data[0] == pytest.approx(32.0)
+
+    def test_scatter_nothing_when_empty_mask(self, mem):
+        before = mem.allocation("a").data.copy()
+        addrs = addrs_of(mem, "a", np.zeros(32, dtype=int))
+        mem.scatter(addrs, np.zeros(32, dtype=bool),
+                    np.full(32, 5.0, np.float32), DType.F32)
+        np.testing.assert_array_equal(mem.allocation("a").data, before)
+
+
+class TestBoundsChecking:
+    def test_out_of_bounds_raises(self, mem):
+        # first lane in-bounds, another one past the end: caught as OOB
+        idx = np.zeros(32, dtype=int)
+        idx[5] = 16
+        addrs = addrs_of(mem, "a", idx)
+        with pytest.raises(MemoryError_, match="out-of-bounds"):
+            mem.gather(addrs, np.ones(32, dtype=bool), DType.F32)
+
+    def test_past_end_padding_raises(self, mem):
+        addrs = addrs_of(mem, "a", np.full(32, 16))  # alignment padding
+        with pytest.raises(MemoryError_):
+            mem.gather(addrs, np.ones(32, dtype=bool), DType.F32)
+
+    def test_wild_address_raises(self, mem):
+        addrs = np.full(32, 0x42, dtype=np.int64)
+        with pytest.raises(MemoryError_, match="outside every allocation"):
+            mem.gather(addrs, np.ones(32, dtype=bool), DType.F32)
+
+    def test_misaligned_raises(self, mem):
+        addrs = addrs_of(mem, "a", np.zeros(32, dtype=int)) + 2
+        with pytest.raises(MemoryError_, match="misaligned"):
+            mem.gather(addrs, np.ones(32, dtype=bool), DType.F32)
