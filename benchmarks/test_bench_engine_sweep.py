@@ -1,0 +1,43 @@
+"""Sweep engine bench: cold measurement vs. warm persistent-cache serve.
+
+The cold pass measures the full reduced atax/K20 sweep (256 variants x 3
+sizes) through the engine and populates the on-disk cache; the benchmark
+then times the warm pass, which serves every point from SQLite.  The
+test asserts the acceptance bar for the engine: a cached re-run is at
+least 5x faster than measuring (in practice it is 10-50x).
+"""
+
+import time
+
+from repro.arch import get_gpu
+from repro.engine import CacheStore, SweepEngine
+from repro.experiments.common import reduced_space
+from repro.kernels import get_benchmark
+
+
+def test_bench_cached_sweep_speedup(benchmark, tmp_path):
+    bm = get_benchmark("atax")
+    gpu = get_gpu("kepler")
+    space = reduced_space()
+    sizes = bm.sizes[::2]
+    engine = SweepEngine(jobs=1, cache=CacheStore(tmp_path))
+
+    t0 = time.perf_counter()
+    cold = engine.sweep(bm, gpu, space, sizes)
+    cold_t = time.perf_counter() - t0
+
+    warm = benchmark.pedantic(
+        engine.sweep, args=(bm, gpu, space, sizes),
+        rounds=3, iterations=1,
+    )
+    assert warm == cold
+    assert engine.last_stats.hit_rate == 1.0
+
+    warm_t = benchmark.stats.stats.mean
+    speedup = cold_t / warm_t
+    assert speedup >= 5.0, (
+        f"cached sweep only {speedup:.1f}x faster "
+        f"(cold {cold_t:.3f}s, warm {warm_t:.3f}s)"
+    )
+    print(f"\ncold {cold_t * 1e3:.1f} ms -> warm {warm_t * 1e3:.1f} ms "
+          f"({speedup:.1f}x, {len(cold)} measurements)")

@@ -27,6 +27,17 @@ from repro.sim.timing import (
 )
 
 
+def compile_config_key(config: dict) -> tuple:
+    """The compile-time slice of a configuration (``UIF``, ``CFLAGS``,
+    ``PL``): variants sharing it share one compiled module.  Used for the
+    module cache here and for shard grouping in :mod:`repro.engine.work`."""
+    return (
+        int(config.get("UIF", 1)),
+        str(config.get("CFLAGS", "")),
+        int(config.get("PL", 16)),
+    )
+
+
 @dataclass(frozen=True)
 class VariantMeasurement:
     """One measured code variant."""
@@ -67,11 +78,7 @@ class Measurer:
     def module_for(self, config: dict) -> CompiledModule:
         """The compiled module for a configuration (cached by the
         compile-time slice of the configuration)."""
-        key = (
-            int(config.get("UIF", 1)),
-            str(config.get("CFLAGS", "")),
-            int(config.get("PL", 16)),
-        )
+        key = compile_config_key(config)
         mod = self._modules.get(key)
         if mod is None:
             options = CompileOptions(
@@ -115,6 +122,15 @@ class Measurer:
             regs_per_thread=mod.regs_per_thread,
             reg_instructions=reg_instr,
         )
+
+    def measure_many(self, items) -> list[VariantMeasurement]:
+        """Measure a batch of ``(config, size)`` pairs, in input order.
+
+        Modules are compiled once per distinct compile key regardless of
+        order (``module_for`` memoizes them for the measurer's lifetime).
+        This is the unit of work a sweep-engine worker runs on its shard.
+        """
+        return [self.measure(config, size) for config, size in items]
 
     def objective(self, size: int):
         """A callable ``config -> seconds`` for the search strategies."""

@@ -3,9 +3,18 @@
 Guaranteed to find the optimum; its cost (|space| empirical measurements)
 is the baseline every other strategy -- and the paper's static pruning --
 is compared against.
+
+Exhaustive enumeration is embarrassingly parallel, so this strategy is
+batch-aware: when the objective carries a ``batch`` attribute (installed
+by ``Autotuner.tune`` when a sweep engine is configured) the whole
+configuration list is evaluated in one call -- sharded across processes
+and served from the persistent cache -- instead of one point at a time.
+The evaluation order, history, and tie-breaking are identical either way.
 """
 
 from __future__ import annotations
+
+import itertools
 
 from repro.autotune.search.base import Objective, Search, SearchResult
 from repro.autotune.space import ParameterSpace
@@ -16,13 +25,20 @@ class ExhaustiveSearch(Search):
 
     def search(self, space: ParameterSpace, objective: Objective,
                budget: int | None = None) -> SearchResult:
+        batch = getattr(objective, "batch", None)
+        if batch is not None:
+            configs = list(itertools.islice(iter(space), budget))
+            values = batch(configs)
+            pairs = zip(configs, values)
+        else:
+            pairs = (
+                (config, objective(config))
+                for config in itertools.islice(iter(space), budget)
+            )
         best_config = None
         best_value = float("inf")
         history: list = []
-        for config in space:
-            if budget is not None and len(history) >= budget:
-                break
-            value = objective(config)
+        for config, value in pairs:
             self._track(history, config, value)
             if value < best_value:
                 best_value = value

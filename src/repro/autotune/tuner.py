@@ -74,15 +74,38 @@ class Autotuner:
             )
         return get_search(search, **kwargs)
 
+    def _make_engine(self, engine, jobs, cache):
+        """Coerce the ``engine``/``jobs``/``cache`` arguments into a
+        :class:`~repro.engine.engine.SweepEngine` (or ``None`` for the
+        plain serial path)."""
+        if engine is not None:
+            return engine
+        if jobs == 1 and cache is None:
+            return None
+        # imported lazily: repro.engine sits on top of repro.autotune
+        from repro.engine import SweepEngine
+
+        return SweepEngine(jobs=jobs, cache=cache)
+
     def tune(
         self,
         size: int,
         search="exhaustive",
         use_rule: bool = False,
         budget: int | None = None,
+        engine=None,
+        jobs: int = 1,
+        cache=None,
         **search_kwargs,
     ) -> TuneOutcome:
-        """Run one tuning sweep at one input size."""
+        """Run one tuning sweep at one input size.
+
+        With ``engine`` (or ``jobs``/``cache``), the objective grows a
+        ``batch`` attribute that routes whole configuration lists through
+        the sweep engine; batch-aware strategies (exhaustive, and static
+        via its inner search) pick it up, others fall back to point
+        evaluation transparently.
+        """
         measurer = Measurer(self.benchmark, self.gpu,
                             params=self.model_params)
         results = TuningResults(self.benchmark.name, self.gpu.name)
@@ -92,20 +115,46 @@ class Autotuner:
             results.add(m)
             return m.seconds
 
+        eng = self._make_engine(engine, jobs, cache)
+        if eng is not None:
+            def batch(configs: list) -> list:
+                ms = eng.run(
+                    self.benchmark, self.gpu,
+                    [(c, size) for c in configs],
+                    params=self.model_params,
+                )
+                for m in ms:
+                    results.add(m)
+                measurer.evaluations += len(ms)
+                return [m.seconds for m in ms]
+
+            objective.batch = batch
+
         strategy = self.make_search(search, use_rule=use_rule, size=size,
                                     **search_kwargs)
         sr = strategy.search(self.space, objective, budget=budget)
         return TuneOutcome(search=sr, results=results, measurer=measurer)
 
-    def sweep(self, sizes=None, space: ParameterSpace | None = None
-              ) -> TuningResults:
+    def sweep(self, sizes=None, space: ParameterSpace | None = None,
+              engine=None, jobs: int = 1, cache=None) -> TuningResults:
         """Exhaustively measure the whole space across input sizes,
-        pooling measurements (the Fig. 4 / Table V data collection)."""
+        pooling measurements (the Fig. 4 / Table V data collection).
+
+        ``jobs`` shards the sweep across worker processes and ``cache``
+        backs it with the persistent store; results are identical to the
+        serial path in content *and* order.
+        """
         sizes = sizes if sizes is not None else self.benchmark.sizes
         space = space if space is not None else self.space
+        results = TuningResults(self.benchmark.name, self.gpu.name)
+        eng = self._make_engine(engine, jobs, cache)
+        if eng is not None:
+            for m in eng.sweep(self.benchmark, self.gpu, space, sizes,
+                               params=self.model_params):
+                results.add(m)
+            return results
         measurer = Measurer(self.benchmark, self.gpu,
                             params=self.model_params)
-        results = TuningResults(self.benchmark.name, self.gpu.name)
         for n in sizes:
             for config in space:
                 results.add(measurer.measure(config, n))

@@ -1,0 +1,208 @@
+"""Persistent measurement cache backing the sweep engine.
+
+Every measured variant is stored under a *stable content key*: a SHA-256
+digest of everything that determines the measurement -- the kernel (name
+and spec structure), the full GPU spec, the tuning configuration, the
+input size, the timing model's :class:`~repro.sim.timing.ModelParams`,
+and the measurement protocol (repetitions / trial index).  Changing any of these yields a
+different key, so a cache never serves stale results after a model
+recalibration; bumping :data:`CACHE_SCHEMA_VERSION` invalidates every
+entry at once when the measurement semantics themselves change.
+
+The store is a single SQLite file (stdlib ``sqlite3``; no third-party
+dependency).  Only the coordinating process writes -- workers compute,
+the engine persists -- so no cross-process locking is needed beyond
+SQLite's own.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import sqlite3
+from dataclasses import asdict
+from pathlib import Path
+
+from repro.arch.specs import GPUSpec
+from repro.autotune.measure import VariantMeasurement
+from repro.sim.timing import ModelParams
+
+CACHE_SCHEMA_VERSION = 1
+"""Bump to invalidate all persisted measurements at once."""
+
+_ENV_VAR = "REPRO_CACHE_DIR"
+_DB_NAME = "measurements.sqlite"
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR`` if set, else ``~/.cache/repro-sweeps``."""
+    env = os.environ.get(_ENV_VAR)
+    if env:
+        return Path(env).expanduser()
+    return Path.home() / ".cache" / "repro-sweeps"
+
+
+def stable_hash(obj) -> str:
+    """SHA-256 hex digest of an object's canonical JSON form.
+
+    ``sort_keys`` makes dict ordering irrelevant; non-JSON values fall
+    back to ``repr`` (deterministic for the dataclasses used here).
+    """
+    blob = json.dumps(obj, sort_keys=True, default=repr)
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def context_key(
+    benchmark_name: str,
+    gpu: GPUSpec,
+    params: ModelParams,
+    repetitions: int = 10,
+    trial_index: int = 4,
+    specs=None,
+) -> str:
+    """Digest of everything a whole sweep shares: kernel name *and specs*,
+    full GPU spec, model parameters, and measurement protocol.  Computed
+    once per sweep (hashing the dataclasses is the expensive part), then
+    combined with each point via :func:`point_key`.
+
+    ``specs`` is the benchmark's kernel-spec tuple; including its (fully
+    deterministic) repr means editing a kernel invalidates its cached
+    measurements even though the name is unchanged.  Changes to the
+    compiler or timing model themselves are what
+    :data:`CACHE_SCHEMA_VERSION` is for.
+    """
+    return stable_hash({
+        "v": CACHE_SCHEMA_VERSION,
+        "kernel": benchmark_name,
+        "specs": repr(specs) if specs is not None else None,
+        "gpu": asdict(gpu),
+        "params": asdict(params),
+        "repetitions": int(repetitions),
+        "trial_index": int(trial_index),
+    })
+
+
+def point_key(context: str, config: dict, size: int) -> str:
+    """The cache key of one ``(config, size)`` point under a context."""
+    return stable_hash({
+        "ctx": context,
+        "config": {k: config[k] for k in sorted(config)},
+        "size": int(size),
+    })
+
+
+def measurement_key(
+    benchmark_name: str,
+    gpu: GPUSpec,
+    config: dict,
+    size: int,
+    params: ModelParams,
+    repetitions: int = 10,
+    trial_index: int = 4,
+    specs=None,
+) -> str:
+    """The cache key of one ``(kernel, GPU, config, size, model)`` point."""
+    return point_key(
+        context_key(benchmark_name, gpu, params, repetitions, trial_index,
+                    specs=specs),
+        config, size,
+    )
+
+
+def _encode(m: VariantMeasurement) -> str:
+    return json.dumps(asdict(m))
+
+
+def _decode(payload: str) -> VariantMeasurement:
+    return VariantMeasurement(**json.loads(payload))
+
+
+class CacheStore:
+    """On-disk key -> :class:`VariantMeasurement` store.
+
+    ``path`` may be a directory (the database file is created inside it)
+    or an explicit ``*.sqlite`` / ``*.db`` file path.
+    """
+
+    def __init__(self, path: str | Path | None = None):
+        path = (
+            Path(path).expanduser() if path is not None
+            else default_cache_dir()
+        )
+        if path.suffix in (".sqlite", ".db"):
+            self.db_path = path
+        else:
+            self.db_path = path / _DB_NAME
+        self.db_path.parent.mkdir(parents=True, exist_ok=True)
+        self._conn = sqlite3.connect(str(self.db_path))
+        self._conn.execute(
+            "CREATE TABLE IF NOT EXISTS measurements ("
+            " key TEXT PRIMARY KEY,"
+            " payload TEXT NOT NULL)"
+        )
+        self._conn.commit()
+        self.hits = 0
+        self.misses = 0
+
+    # -- single-item API -----------------------------------------------------
+
+    def get(self, key: str) -> VariantMeasurement | None:
+        row = self._conn.execute(
+            "SELECT payload FROM measurements WHERE key = ?", (key,)
+        ).fetchone()
+        if row is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return _decode(row[0])
+
+    def put(self, key: str, measurement: VariantMeasurement) -> None:
+        self.put_many([(key, measurement)])
+
+    # -- batch API (what the engine uses) ------------------------------------
+
+    def get_many(self, keys) -> dict:
+        """``{key: measurement}`` for every key present in the store."""
+        keys = list(keys)
+        found: dict = {}
+        CHUNK = 400  # stay well under SQLite's bound-variable limit
+        for lo in range(0, len(keys), CHUNK):
+            chunk = keys[lo:lo + CHUNK]
+            qs = ",".join("?" * len(chunk))
+            rows = self._conn.execute(
+                f"SELECT key, payload FROM measurements WHERE key IN ({qs})",
+                chunk,
+            ).fetchall()
+            for key, payload in rows:
+                found[key] = _decode(payload)
+        self.hits += len(found)
+        self.misses += len(keys) - len(found)
+        return found
+
+    def put_many(self, items) -> None:
+        """Persist ``(key, measurement)`` pairs (idempotent upsert)."""
+        rows = [(k, _encode(m)) for k, m in items]
+        if not rows:
+            return
+        self._conn.executemany(
+            "INSERT OR REPLACE INTO measurements (key, payload)"
+            " VALUES (?, ?)",
+            rows,
+        )
+        self._conn.commit()
+
+    # -- maintenance ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        (n,) = self._conn.execute(
+            "SELECT COUNT(*) FROM measurements"
+        ).fetchone()
+        return int(n)
+
+    def clear(self) -> None:
+        self._conn.execute("DELETE FROM measurements")
+        self._conn.commit()
+
+    def close(self) -> None:
+        self._conn.close()

@@ -1,0 +1,189 @@
+"""The parallel, cache-backed sweep engine.
+
+:class:`SweepEngine` is the one place the repo turns a work list of
+``(kernel, GPU, config, size)`` points into measurements.  The stages are
+deliberately explicit and debuggable:
+
+1. **Enumerate** the work list in the canonical serial order
+   (:func:`~repro.engine.work.build_work_list`).
+2. **Probe** the persistent cache: every point already measured under the
+   same kernel/GPU/config/size/:class:`ModelParams` key is served from
+   disk (:mod:`repro.engine.cache`).
+3. **Shard** the misses by compile key and balance them across workers
+   (:func:`~repro.engine.work.shard_work`).
+4. **Execute** the shards on a process pool -- or inline when ``jobs=1``
+   (:mod:`repro.engine.pool`).
+5. **Persist** the fresh measurements and **reassemble** the canonical
+   order, so parallel output is byte-identical to serial output.
+
+The timing model is deterministic (noise is seeded from the
+configuration itself), which is what makes stages 2 and 4 safe: a cached
+or remote measurement equals an inline one exactly.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.arch.specs import GPUSpec
+from repro.autotune.space import ParameterSpace
+from repro.engine.cache import CacheStore, context_key, point_key
+from repro.engine.pool import PoolExecutor, resolve_jobs
+from repro.engine.progress import NULL_PROGRESS
+from repro.engine.work import build_pairs, build_work_list, shard_work
+from repro.kernels.base import Benchmark
+from repro.sim.timing import DEFAULT_PARAMS, ModelParams
+
+
+@dataclass(frozen=True)
+class SweepStats:
+    """What the last engine run did."""
+
+    total: int
+    hits: int
+    measured: int
+    elapsed_s: float
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.total if self.total else 0.0
+
+
+class SweepEngine:
+    """Measures work lists across processes, backed by a persistent cache.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes; ``1`` runs inline, ``None``/``0`` uses every
+        CPU.
+    cache:
+        A :class:`CacheStore`, a path (directory or ``*.sqlite`` file) to
+        open one at, or ``None`` to disable persistence.
+    progress:
+        A :class:`~repro.engine.progress.ProgressReporter`; default no-op.
+    """
+
+    def __init__(self, jobs: int | None = 1, cache=None, progress=None):
+        self.jobs = resolve_jobs(jobs)
+        if cache is None or isinstance(cache, CacheStore):
+            self.cache = cache
+        else:
+            self.cache = CacheStore(Path(cache))
+        self.progress = progress if progress is not None else NULL_PROGRESS
+        self.last_stats: SweepStats | None = None
+        self._executor = PoolExecutor(self.jobs)
+
+    def close(self) -> None:
+        """Release the worker pool (the cache, possibly shared, is left
+        open).  The engine stays usable; workers respawn on demand."""
+        self._executor.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+
+    # -- entry points --------------------------------------------------------
+
+    def sweep(
+        self,
+        benchmark: Benchmark,
+        gpu: GPUSpec,
+        space: ParameterSpace,
+        sizes,
+        params: ModelParams = DEFAULT_PARAMS,
+        repetitions: int = 10,
+        trial_index: int = 4,
+    ) -> list:
+        """Measure every configuration at every size, in canonical order."""
+        items = build_work_list(space, sizes)
+        return self._execute(
+            benchmark, gpu, items, params, repetitions, trial_index,
+            label=f"sweep {benchmark.name}/{gpu.name}",
+        )
+
+    def run(
+        self,
+        benchmark: Benchmark,
+        gpu: GPUSpec,
+        pairs,
+        params: ModelParams = DEFAULT_PARAMS,
+        repetitions: int = 10,
+        trial_index: int = 4,
+    ) -> list:
+        """Measure explicit ``(config, size)`` pairs, preserving order
+        (the batch path the search strategies use)."""
+        items = build_pairs(pairs)
+        return self._execute(
+            benchmark, gpu, items, params, repetitions, trial_index,
+            label=f"batch {benchmark.name}/{gpu.name}",
+        )
+
+    # -- pipeline ------------------------------------------------------------
+
+    def _execute(
+        self, benchmark, gpu, items, params, repetitions, trial_index, label
+    ) -> list:
+        t0 = time.monotonic()
+        results: list = [None] * len(items)
+
+        # stage 2: probe the cache
+        misses = items
+        keys = None
+        if self.cache is not None and items:
+            ctx = context_key(
+                benchmark.name, gpu, params, repetitions, trial_index,
+                specs=benchmark.specs,
+            )
+            keys = [
+                point_key(ctx, item.config, item.size) for item in items
+            ]
+            found = self.cache.get_many(keys)
+            misses = []
+            for item, key in zip(items, keys):
+                hit = found.get(key)
+                if hit is not None:
+                    results[item.index] = hit
+                else:
+                    misses.append(item)
+        hits = len(items) - len(misses)
+
+        # stages 3-4: shard and execute
+        self.progress.start(len(items), label)
+        self.progress.advance(hits)
+        if misses:
+            from repro.kernels import BENCHMARKS
+
+            # Registered benchmarks travel by name: their callables are
+            # closures, which do not survive pickling to pool workers.
+            # Anything else (a modified copy, an unregistered benchmark)
+            # is measured inline instead -- slower, never wrong.
+            registered = BENCHMARKS.get(benchmark.name) is benchmark
+            bench_ref = benchmark.name if registered else benchmark
+            shards = shard_work(misses, self.jobs if registered else 1)
+            tasks = [
+                (bench_ref, gpu, params, repetitions, trial_index, shard)
+                for shard in shards
+            ]
+            for index, m in self._executor.run(tasks,
+                                               progress=self.progress):
+                results[index] = m
+
+        # stage 5: persist the fresh measurements
+        if self.cache is not None and misses:
+            self.cache.put_many(
+                (keys[item.index], results[item.index]) for item in misses
+            )
+        self.progress.finish()
+
+        self.last_stats = SweepStats(
+            total=len(items),
+            hits=hits,
+            measured=len(misses),
+            elapsed_s=time.monotonic() - t0,
+        )
+        return results

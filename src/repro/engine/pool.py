@@ -1,0 +1,96 @@
+"""Process-pool execution of measurement shards.
+
+Each task is self-contained -- benchmark, GPU spec, model parameters,
+protocol, and a shard of :class:`~repro.engine.work.WorkItem` -- so a
+worker process rebuilds its own :class:`~repro.autotune.measure.Measurer`
+and compiles each needed module exactly once (shards are grouped by
+compile key upstream).  Workers return ``(item index, measurement)``
+pairs; ordering is restored by the engine, never by arrival time.
+
+With ``jobs=1`` (or a single shard) everything runs inline in the
+calling process: no pool, no pickling, identical results.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+
+from repro.autotune.measure import Measurer
+
+
+def resolve_jobs(jobs: int | None) -> int:
+    """``None``/``0`` means one worker per CPU; negatives are an error."""
+    if jobs is None or jobs == 0:
+        return os.cpu_count() or 1
+    if jobs < 0:
+        raise ValueError(f"jobs must be >= 0, got {jobs}")
+    return jobs
+
+
+def evaluate_shard(task) -> list:
+    """Measure one shard; the top-level entry point pool workers run.
+
+    ``task[0]`` is a registry name whenever the benchmark is registered
+    (its dataclass holds closures, which do not pickle), so workers
+    resolve it locally; unregistered benchmarks arrive as objects.
+    """
+    benchmark, gpu, params, repetitions, trial_index, shard = task
+    if isinstance(benchmark, str):
+        from repro.kernels import get_benchmark
+
+        benchmark = get_benchmark(benchmark)
+    measurer = Measurer(
+        benchmark, gpu, params=params,
+        repetitions=repetitions, trial_index=trial_index,
+    )
+    measurements = measurer.measure_many(
+        [(item.config, item.size) for item in shard]
+    )
+    return [
+        (item.index, m) for item, m in zip(shard, measurements)
+    ]
+
+
+class PoolExecutor:
+    """Runs shard tasks across a persistent ``multiprocessing`` pool.
+
+    The pool is created on first parallel use and reused across calls --
+    a search-heavy run (fig6) issues one small batch per tuning step, and
+    re-forking workers for each would dominate the work.  ``close``
+    releases the workers; the executor remains usable afterwards (a new
+    pool is created on demand).
+    """
+
+    def __init__(self, jobs: int | None = None):
+        self.jobs = resolve_jobs(jobs)
+        self._pool = None
+
+    def run(self, tasks, progress=None) -> list:
+        """Evaluate every task, returning all ``(index, measurement)``
+        pairs; ``progress.advance`` is called per completed shard."""
+        tasks = list(tasks)
+        out: list = []
+        if self.jobs <= 1 or len(tasks) <= 1:
+            for task in tasks:
+                pairs = evaluate_shard(task)
+                out.extend(pairs)
+                if progress is not None:
+                    progress.advance(len(pairs))
+            return out
+        if self._pool is None:
+            self._pool = multiprocessing.Pool(processes=self.jobs)
+        for pairs in self._pool.imap_unordered(evaluate_shard, tasks):
+            out.extend(pairs)
+            if progress is not None:
+                progress.advance(len(pairs))
+        return out
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+    def __del__(self):
+        self.close()

@@ -1,0 +1,74 @@
+"""Progress reporting for long sweeps.
+
+The engine drives a tiny three-call protocol -- :meth:`start`,
+:meth:`advance`, :meth:`finish` -- so callers can plug in anything from
+the default no-op to the carriage-return stderr meter used by the
+experiment runner's ``--progress`` flag.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+
+class ProgressReporter:
+    """No-op base reporter (and the null object used by default)."""
+
+    def start(self, total: int, label: str = "") -> None:
+        pass
+
+    def advance(self, n: int = 1) -> None:
+        pass
+
+    def finish(self) -> None:
+        pass
+
+
+NULL_PROGRESS = ProgressReporter()
+
+
+class StderrProgress(ProgressReporter):
+    """Single-line ``label: done/total (pct)`` meter on stderr.
+
+    Updates are throttled to ``min_interval`` seconds so a fast sweep
+    does not spend its time repainting the terminal.
+    """
+
+    def __init__(self, stream=None, min_interval: float = 0.1):
+        self.stream = stream if stream is not None else sys.stderr
+        self.min_interval = min_interval
+        self.total = 0
+        self.done = 0
+        self.label = ""
+        self._last_paint = 0.0
+        self._started = False
+
+    def start(self, total: int, label: str = "") -> None:
+        self.total = total
+        self.done = 0
+        self.label = label or "sweep"
+        self._started = True
+        self._paint(force=True)
+
+    def advance(self, n: int = 1) -> None:
+        self.done += n
+        self._paint()
+
+    def finish(self) -> None:
+        if self._started:
+            self._paint(force=True)
+            self.stream.write("\n")
+            self.stream.flush()
+            self._started = False
+
+    def _paint(self, force: bool = False) -> None:
+        now = time.monotonic()
+        if not force and now - self._last_paint < self.min_interval:
+            return
+        self._last_paint = now
+        pct = 100.0 * self.done / self.total if self.total else 100.0
+        self.stream.write(
+            f"\r{self.label}: {self.done}/{self.total} ({pct:.0f}%)"
+        )
+        self.stream.flush()

@@ -1,0 +1,71 @@
+"""Work-list construction and deterministic sharding.
+
+A sweep is a flat, ordered list of :class:`WorkItem` -- one
+``(config, size)`` point per item, numbered in the canonical order the
+serial sweep would evaluate them (sizes outer, configurations inner).
+Sharding groups items by their *compile key* (the compile-time slice of
+the configuration: ``UIF``, ``CFLAGS``, ``PL``) so each worker compiles
+every needed module at most once, then balances whole groups across
+shards.  Results carry their item index, so the engine reassembles the
+canonical order regardless of which shard finished first -- parallel
+sweeps are byte-identical to serial ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.autotune.measure import compile_config_key as compile_key
+from repro.autotune.space import ParameterSpace
+
+
+@dataclass(frozen=True)
+class WorkItem:
+    """One measurement to perform, at its position in the canonical order."""
+
+    index: int
+    config: dict
+    size: int
+
+
+def build_work_list(space: ParameterSpace, sizes) -> list:
+    """Enumerate ``sizes x space`` in the canonical serial-sweep order."""
+    items = []
+    for size in sizes:
+        for config in space:
+            items.append(WorkItem(len(items), dict(config), int(size)))
+    return items
+
+
+def build_pairs(pairs) -> list:
+    """Work list from explicit ``(config, size)`` pairs (search batches)."""
+    return [
+        WorkItem(i, dict(config), int(size))
+        for i, (config, size) in enumerate(pairs)
+    ]
+
+
+def shard_work(items, shards: int) -> list:
+    """Split items into at most ``shards`` balanced lists.
+
+    Items are grouped by compile key and whole groups are assigned
+    greedily (largest first) to the currently lightest shard; ties break
+    by shard number, so the partition is deterministic.  Empty shards are
+    dropped.
+    """
+    if shards <= 1:
+        return [list(items)] if items else []
+    groups: dict = {}
+    for item in items:
+        groups.setdefault(compile_key(item.config), []).append(item)
+    # largest groups first; key as tiebreak for determinism
+    ordered = sorted(
+        groups.items(), key=lambda kv: (-len(kv[1]), kv[0])
+    )
+    buckets = [[] for _ in range(shards)]
+    loads = [0] * shards
+    for _, group in ordered:
+        target = loads.index(min(loads))
+        buckets[target].extend(group)
+        loads[target] += len(group)
+    return [b for b in buckets if b]

@@ -1,4 +1,13 @@
-"""Shared experiment infrastructure: sweep configuration and caching."""
+"""Shared experiment infrastructure: sweep configuration and caching.
+
+The sweep-backed experiments (fig4, table5, fig5, fig6) all draw from
+:func:`exhaustive_sweep`, which routes through the
+:class:`~repro.engine.engine.SweepEngine`.  :func:`configure_sweeps` sets
+the process-wide engine policy (worker count, persistent cache dir,
+progress reporting) -- the runner's ``--jobs``/``--cache`` flags land
+here -- without threading engine arguments through every experiment
+module's signature.
+"""
 
 from __future__ import annotations
 
@@ -9,6 +18,7 @@ from repro.autotune.space import Parameter, ParameterSpace
 from repro.autotune.spec import default_tuning_spec
 from repro.autotune.tuner import Autotuner
 from repro.autotune.results import TuningResults
+from repro.engine import CacheStore, StderrProgress, SweepEngine
 from repro.kernels import BENCHMARKS, get_benchmark
 
 KERNEL_ORDER = ("atax", "bicg", "ex14fj", "matvec2d")
@@ -61,18 +71,58 @@ def resolve_kernels(kernels=None) -> list[str]:
 
 _SWEEP_CACHE: dict = {}
 
+_ENGINE_CONFIG = {"jobs": 1, "cache_dir": None, "progress": False}
+_SHARED_ENGINE: list = [None, False]  # [engine, built?]
+
+
+def configure_sweeps(jobs: int = 1, cache_dir=None,
+                     progress: bool = False) -> None:
+    """Set the process-wide sweep engine policy.
+
+    ``jobs`` worker processes per sweep; ``cache_dir`` a directory for the
+    persistent :class:`~repro.engine.cache.CacheStore` (``None`` disables
+    persistence); ``progress`` paints a stderr meter.  Library callers and
+    the test suite default to serial, uncached sweeps.
+    """
+    _ENGINE_CONFIG.update(
+        jobs=jobs, cache_dir=cache_dir, progress=progress
+    )
+    _SHARED_ENGINE[:] = [None, False]
+
+
+def shared_engine() -> SweepEngine | None:
+    """The :class:`SweepEngine` honouring :func:`configure_sweeps` (one
+    per configuration, so its cache connection and hit counters persist
+    across experiments), or ``None`` for the plain serial default."""
+    if not _SHARED_ENGINE[1]:
+        cfg = _ENGINE_CONFIG
+        if cfg["jobs"] == 1 and not cfg["cache_dir"] and not cfg["progress"]:
+            engine = None
+        else:
+            engine = SweepEngine(
+                jobs=cfg["jobs"],
+                cache=CacheStore(cfg["cache_dir"]) if cfg["cache_dir"]
+                else None,
+                progress=StderrProgress() if cfg["progress"] else None,
+            )
+        _SHARED_ENGINE[:] = [engine, True]
+    return _SHARED_ENGINE[0]
+
 
 def exhaustive_sweep(
     kernel: str, gpu: GPUSpec, full: bool = False
 ) -> TuningResults:
     """The pooled exhaustive sweep for (kernel, GPU): measurements of every
     variant at every input size (Fig. 4 / Table V data).  Cached per
-    process, since several experiments share it."""
+    process, since several experiments share it; the engine adds process
+    parallelism and the persistent cross-run cache when configured."""
     key = (kernel, gpu.name, full)
     if key not in _SWEEP_CACHE:
         bm = get_benchmark(kernel)
         tuner = Autotuner(bm, gpu, space=space_for(full))
-        _SWEEP_CACHE[key] = tuner.sweep(sizes=sizes_for(kernel, full))
+        _SWEEP_CACHE[key] = tuner.sweep(
+            sizes=sizes_for(kernel, full), engine=shared_engine()
+        )
     return _SWEEP_CACHE[key]
 
 

@@ -9,6 +9,10 @@ matVec2D and ex14FJ at the upper ranges.
 
 from __future__ import annotations
 
+USES_SHARED_SWEEP = True
+"""Drawn from the pooled exhaustive sweep: the runner keeps this
+experiment in the coordinating process so measurements are shared."""
+
 import numpy as np
 
 from repro.experiments.common import (

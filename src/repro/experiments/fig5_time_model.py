@@ -10,6 +10,10 @@ absolute error, per kernel and architecture.
 
 from __future__ import annotations
 
+USES_SHARED_SWEEP = True
+"""Drawn from the pooled exhaustive sweep: the runner keeps this
+experiment in the coordinating process so measurements are shared."""
+
 import numpy as np
 
 from repro.core.instruction_mix import static_mix_module

@@ -15,11 +15,16 @@ optimum, at the largest input size.
 
 from __future__ import annotations
 
+USES_SHARED_SWEEP = True
+"""Tunes through the shared engine: the runner keeps this experiment in
+the coordinating process so it reuses the engine pool and cache."""
+
 from repro.autotune.search import StaticSearch
 from repro.autotune.tuner import Autotuner
 from repro.experiments.common import (
     resolve_gpus,
     resolve_kernels,
+    shared_engine,
     sizes_for,
     space_for,
 )
@@ -32,6 +37,7 @@ def run(full: bool = False, archs=None, kernels=None,
     gpus = resolve_gpus(archs)
     names = resolve_kernels(kernels)
     space = space_for(full)
+    engine = shared_engine()
     rows = []
     for kernel in names:
         bm = get_benchmark(kernel)
@@ -40,11 +46,12 @@ def run(full: bool = False, archs=None, kernels=None,
             tuner = Autotuner(bm, gpu, space=space)
             entry = {"kernel": kernel, "arch": gpu.name}
             if verify_quality:
-                exhaustive = tuner.tune(size=size, search="exhaustive")
+                exhaustive = tuner.tune(size=size, search="exhaustive",
+                                        engine=engine)
                 base_best = exhaustive.best_seconds
             for label, use_rule in (("static", False), ("rb", True)):
                 out = tuner.tune(size=size, search="static",
-                                 use_rule=use_rule)
+                                 use_rule=use_rule, engine=engine)
                 entry[f"{label}_improvement"] = out.search.space_reduction
                 entry[f"{label}_evals"] = out.search.evaluations
                 if verify_quality:

@@ -7,6 +7,15 @@ Usage::
     python -m repro.experiments.runner --full fig6     # paper-size sweep
     python -m repro.experiments.runner --arch kepler --kernel atax fig4
     python -m repro.experiments.runner --out results/  # save to files
+    python -m repro.experiments.runner --jobs 4 fig4 table5   # parallel sweep
+    python -m repro.experiments.runner --no-cache fig5 # force remeasurement
+
+Sweeps are backed by a persistent on-disk cache (``--cache``, on by
+default; ``--cache-dir`` or ``$REPRO_CACHE_DIR`` picks the location), so
+re-running an experiment with the same model parameters is near-free.
+``--jobs N`` shards sweep measurement across N worker processes and runs
+independent (non-sweep) experiments concurrently; output text is
+identical to a serial run regardless.
 """
 
 from __future__ import annotations
@@ -14,9 +23,11 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+from concurrent.futures import ProcessPoolExecutor
 from pathlib import Path
 
-from repro.experiments import ALL_EXPERIMENTS
+from repro.engine import default_cache_dir, resolve_jobs
+from repro.experiments import ALL_EXPERIMENTS, common
 from repro.experiments import (
     fig1_divergence,
     fig3_spec,
@@ -60,6 +71,17 @@ _ACCEPTS = {
     "fig7": {"archs"},
 }
 
+#: experiments drawing on the shared exhaustive sweep (and its in-process
+#: memo + sweep engine); these run in the coordinating process so they
+#: reuse each other's measurements, while the rest may run concurrently.
+#: Declared by the modules themselves (``USES_SHARED_SWEEP = True``) so a
+#: new sweep-backed experiment cannot silently end up in a worker process
+#: with its own second cache writer.
+SWEEP_POOLED = frozenset(
+    name for name, mod in _MODULES.items()
+    if getattr(mod, "USES_SHARED_SWEEP", False)
+)
+
 
 def run_experiment(name: str, full: bool = False, archs=None,
                    kernels=None) -> str:
@@ -79,6 +101,13 @@ def run_experiment(name: str, full: bool = False, archs=None,
     return mod.render(mod.run(**kwargs))
 
 
+def _run_timed(name: str, full: bool, archs, kernels) -> tuple:
+    """``(text, elapsed)`` for one experiment (picklable pool target)."""
+    t0 = time.time()
+    text = run_experiment(name, full=full, archs=archs, kernels=kernels)
+    return text, time.time() - t0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
@@ -94,25 +123,64 @@ def main(argv=None) -> int:
                         help="restrict to a kernel (repeatable)")
     parser.add_argument("--out", type=Path, default=None,
                         help="directory to write one .txt per experiment")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes for sweeps and independent "
+                             "experiments (0 = one per CPU)")
+    parser.add_argument("--cache", action=argparse.BooleanOptionalAction,
+                        default=True,
+                        help="persist sweep measurements on disk "
+                             "(default: on; --no-cache disables)")
+    parser.add_argument("--cache-dir", type=Path, default=None,
+                        help=f"cache location (default {default_cache_dir()})")
+    parser.add_argument("--progress", action="store_true",
+                        help="paint a sweep progress meter on stderr")
     args = parser.parse_args(argv)
 
     chosen = args.experiments or list(ALL_EXPERIMENTS)
     for name in chosen:
         if name not in _MODULES:
             parser.error(f"unknown experiment {name!r}")
+    if args.jobs < 0:
+        parser.error("--jobs must be >= 0")
 
-    for name in chosen:
-        t0 = time.time()
-        text = run_experiment(name, full=args.full, archs=args.archs,
-                              kernels=args.kernels)
-        elapsed = time.time() - t0
-        header = f"##### {name} ({elapsed:.1f}s) " + "#" * 30
-        print(header)
-        print(text)
-        print()
-        if args.out is not None:
-            args.out.mkdir(parents=True, exist_ok=True)
-            (args.out / f"{name}.txt").write_text(text + "\n")
+    cache_dir = None
+    if args.cache:
+        cache_dir = args.cache_dir or default_cache_dir()
+    common.configure_sweeps(jobs=args.jobs, cache_dir=cache_dir,
+                            progress=args.progress)
+
+    # Independent experiments can run concurrently in worker processes;
+    # the sweep-pooled ones stay here to share measurements.  Results are
+    # printed strictly in the requested order either way.
+    futures: dict = {}
+    executor = None
+    independents = [n for n in dict.fromkeys(chosen) if n not in SWEEP_POOLED]
+    if args.jobs != 1 and len(independents) > 1:
+        executor = ProcessPoolExecutor(
+            max_workers=min(len(independents), resolve_jobs(args.jobs))
+        )
+        futures = {
+            n: executor.submit(_run_timed, n, args.full, args.archs,
+                               args.kernels)
+            for n in independents
+        }
+    try:
+        for name in dict.fromkeys(chosen):
+            if name in futures:
+                text, elapsed = futures[name].result()
+            else:
+                text, elapsed = _run_timed(name, args.full, args.archs,
+                                           args.kernels)
+            header = f"##### {name} ({elapsed:.1f}s) " + "#" * 30
+            print(header)
+            print(text)
+            print()
+            if args.out is not None:
+                args.out.mkdir(parents=True, exist_ok=True)
+                (args.out / f"{name}.txt").write_text(text + "\n")
+    finally:
+        if executor is not None:
+            executor.shutdown()
     return 0
 
 

@@ -9,6 +9,10 @@ architecture generation.
 
 from __future__ import annotations
 
+USES_SHARED_SWEEP = True
+"""Drawn from the pooled exhaustive sweep: the runner keeps this
+experiment in the coordinating process so measurements are shared."""
+
 from repro.experiments.common import (
     exhaustive_sweep,
     resolve_gpus,
