@@ -6,7 +6,12 @@ the paper's static (and static+rule) searches over the 5,120-variant
 space, reporting measurements spent and solution quality relative to the
 exhaustive optimum -- the trade-off the paper's Sec. IV-C discusses.
 
-Run: python examples/search_strategies.py [kernel] [size]
+Every strategy proposes ask/tell batches, so a single shared sweep
+engine shards all of their evaluations across worker processes -- pass
+a jobs count to see the whole comparison accelerate (add a CacheStore
+to the engine to also persist the measurements across runs).
+
+Run: python examples/search_strategies.py [kernel] [size] [jobs]
 """
 
 import sys
@@ -14,41 +19,45 @@ import time
 
 from repro.arch import get_gpu
 from repro.autotune import Autotuner
+from repro.engine import SweepEngine
 from repro.kernels import get_benchmark
 from repro.util.tables import ascii_table
 
 
-def main(kernel: str = "bicg", size: int = 256) -> None:
+def main(kernel: str = "bicg", size: int = 256, jobs: int = 1) -> None:
     gpu = get_gpu("kepler")
     benchmark = get_benchmark(kernel)
     tuner = Autotuner(benchmark, gpu)
 
-    t0 = time.time()
-    exhaustive = tuner.tune(size=size, search="exhaustive")
-    base = exhaustive.best_seconds
-    rows = [["exhaustive", exhaustive.search.evaluations, "0.0%",
-             f"{base * 1e6:.1f}", "1.000"]]
-    print(f"(exhaustive baseline took {time.time() - t0:.1f}s of host time)")
+    with SweepEngine(jobs=jobs) as engine:
+        t0 = time.time()
+        exhaustive = tuner.tune(size=size, search="exhaustive",
+                                engine=engine)
+        base = exhaustive.best_seconds
+        rows = [["exhaustive", exhaustive.search.evaluations, "0.0%",
+                 f"{base * 1e6:.1f}", "1.000"]]
+        print(f"(exhaustive baseline took {time.time() - t0:.1f}s "
+              f"of host time)")
 
-    runs = [
-        ("random", dict(search="random", budget=200)),
-        ("annealing", dict(search="annealing", budget=200)),
-        ("genetic", dict(search="genetic", budget=200)),
-        ("simplex", dict(search="simplex", budget=150)),
-        ("static", dict(search="static")),
-        ("static+rule", dict(search="static", use_rule=True)),
-        ("static>simplex", dict(search="static", inner="simplex",
-                                budget=60)),
-    ]
-    for label, kwargs in runs:
-        out = tuner.tune(size=size, **kwargs)
-        rows.append([
-            label,
-            out.search.evaluations,
-            f"{out.search.space_reduction:.1%}",
-            f"{out.best_seconds * 1e6:.1f}",
-            f"{out.best_seconds / base:.3f}",
-        ])
+        runs = [
+            ("random", dict(search="random", budget=200)),
+            ("annealing", dict(search="annealing", budget=200)),
+            ("genetic", dict(search="genetic", budget=200)),
+            ("simplex", dict(search="simplex", budget=150)),
+            ("static", dict(search="static")),
+            ("static+rule", dict(search="static", use_rule=True)),
+            ("static>simplex", dict(search="static", inner="simplex",
+                                    budget=60)),
+        ]
+        for label, kwargs in runs:
+            out = tuner.tune(size=size, engine=engine, **kwargs)
+            rows.append([
+                label,
+                out.search.evaluations,
+                f"{out.search.space_reduction:.1%}",
+                f"{out.best_seconds * 1e6:.1f}",
+                f"{out.best_seconds / base:.3f}",
+            ])
 
     print(ascii_table(
         ["Search", "Measurements", "Space removed", "Best (us)",
@@ -68,4 +77,5 @@ def main(kernel: str = "bicg", size: int = 256) -> None:
 if __name__ == "__main__":
     k = sys.argv[1] if len(sys.argv) > 1 else "bicg"
     n = int(sys.argv[2]) if len(sys.argv) > 2 else 256
-    main(k, n)
+    j = int(sys.argv[3]) if len(sys.argv) > 3 else 1
+    main(k, n, j)

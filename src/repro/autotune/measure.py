@@ -139,3 +139,52 @@ class Measurer:
             return self.measure(config, size).seconds
 
         return f
+
+    def batch_objective(self, size: int, results=None, engine=None):
+        """A :class:`BatchObjective` at one input size (see below)."""
+        return BatchObjective(self, size, results=results, engine=engine)
+
+
+class BatchObjective:
+    """The objective the tuner hands to the search strategies.
+
+    Point calls (``obj(config)``) measure inline through the
+    :class:`Measurer`.  Batch calls (``obj.batch(configs)``) -- what the
+    ask/tell driver in :class:`~repro.autotune.search.base.Search` uses
+    -- route the whole list through the sweep engine when one is
+    configured (sharded across worker processes, served from the
+    persistent cache) and fall back to :meth:`Measurer.measure_many`
+    otherwise.  Every measurement lands in ``results`` in evaluation
+    order either way, so batched runs are byte-identical to serial ones.
+    """
+
+    def __init__(self, measurer: Measurer, size: int, results=None,
+                 engine=None):
+        self.measurer = measurer
+        self.size = size
+        self.results = results
+        self.engine = engine
+
+    def _absorb(self, measurements) -> list[float]:
+        if self.results is not None:
+            for m in measurements:
+                self.results.add(m)
+        return [m.seconds for m in measurements]
+
+    def __call__(self, config: dict) -> float:
+        return self._absorb([self.measurer.measure(config, self.size)])[0]
+
+    def batch(self, configs: list) -> list[float]:
+        if not configs:
+            return []
+        m = self.measurer
+        pairs = [(config, self.size) for config in configs]
+        if self.engine is not None:
+            measurements = self.engine.run(
+                m.benchmark, m.gpu, pairs, params=m.params,
+                repetitions=m.repetitions, trial_index=m.trial_index,
+            )
+            m.evaluations += len(measurements)
+        else:
+            measurements = m.measure_many(pairs)
+        return self._absorb(measurements)

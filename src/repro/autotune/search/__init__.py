@@ -7,9 +7,19 @@ our approach can easily be integrated into a general autotuning
 framework."  :class:`StaticSearch` is that new module: it prunes the
 thread axis to the analyzer's ``T*`` (optionally further halved by the
 intensity rule) and runs any inner strategy on the reduced space.
+
+Every strategy speaks the batch ask/tell protocol (see
+:mod:`repro.autotune.search.base`): ``ask(k)`` proposes up to ``k``
+configurations -- a population, a set of annealing chains, a simplex, a
+block of random samples, the whole space -- and ``tell`` reports their
+measured values.  The legacy ``search(space, objective, budget)`` entry
+point survives as a thin driver over that loop, preferring an
+objective's ``batch`` attribute so every evaluation can be sharded
+across processes and served from the persistent cache by the sweep
+engine.
 """
 
-from repro.autotune.search.base import Search, SearchResult
+from repro.autotune.search.base import Search, SearchResult, config_key
 from repro.autotune.search.exhaustive import ExhaustiveSearch
 from repro.autotune.search.random_search import RandomSearch
 from repro.autotune.search.annealing import SimulatedAnnealingSearch
@@ -40,6 +50,7 @@ def get_search(name: str, **kwargs) -> Search:
 __all__ = [
     "Search",
     "SearchResult",
+    "config_key",
     "ExhaustiveSearch",
     "RandomSearch",
     "SimulatedAnnealingSearch",

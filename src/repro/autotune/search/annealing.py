@@ -1,15 +1,26 @@
-"""Simulated annealing over the parameter lattice.
+"""Multi-chain simulated annealing over the parameter lattice.
 
-Moves perturb one coordinate by a geometric step; acceptance follows the
-Metropolis criterion with a geometric cooling schedule.  Infinite
-objective values (unlaunchable variants) are always rejected.
+``chains`` independent Metropolis chains run side by side; every step
+proposes one candidate per chain, and the whole set is evaluated as one
+ask/tell batch (sharded across workers and cache-served by an
+engine-backed objective).  Moves perturb one coordinate by a geometric
+step; acceptance follows the Metropolis criterion with a geometric
+cooling schedule shared by all chains.  Infinite objective values
+(unlaunchable variants) are always rejected; chains that drew an
+unlaunchable *start* are re-seeded from the best launchable start when
+one exists, and a chain still sitting on an ``inf`` point proposes
+global random jumps instead of local moves -- a chain can no longer
+wedge on an unlaunchable current point.
+
+The budget counts proposals, not distinct configurations (chains may
+revisit points), so ``evaluations == budget`` exactly.
 """
 
 from __future__ import annotations
 
 import math
 
-from repro.autotune.search.base import Objective, Search, SearchResult
+from repro.autotune.search.base import Search
 from repro.autotune.space import ParameterSpace
 from repro.util.rng import rng_for
 
@@ -17,59 +28,80 @@ from repro.util.rng import rng_for
 class SimulatedAnnealingSearch(Search):
     name = "annealing"
 
+    reuse_evaluations = False
+    """A revisited point is re-charged to the budget, preserving the
+    classic evaluations-per-run semantics (the measurement itself is
+    still deduplicated by the engine cache)."""
+
     def __init__(
         self,
         budget: int = 200,
         t_initial: float = 1.0,
         t_final: float = 1e-3,
+        chains: int = 4,
         seed: int | None = None,
     ):
         if budget <= 1:
             raise ValueError("budget must exceed 1")
         if not (0 < t_final < t_initial):
             raise ValueError("need 0 < t_final < t_initial")
+        if chains < 1:
+            raise ValueError("chains must be >= 1")
         self.budget = budget
         self.t_initial = t_initial
         self.t_final = t_final
+        self.chains = chains
         self.seed = seed
 
-    def search(self, space: ParameterSpace, objective: Objective,
-               budget: int | None = None) -> SearchResult:
+    def _proposals(self, space: ParameterSpace, budget):
         n = budget if budget is not None else self.budget
         rng = rng_for("search", "annealing", self.seed)
-        history: list = []
+        n_chains = max(1, min(self.chains, n // 2))
 
-        coords = space.coords_of(space.random_config(rng))
-        current = space.config_at(coords)
-        cur_val = objective(current)
-        self._track(history, current, cur_val)
-        best_config, best_value = current, cur_val
+        starts = [space.random_config(rng) for _ in range(n_chains)]
+        values = yield starts
 
-        cooling = (self.t_final / self.t_initial) ** (1.0 / max(n - 1, 1))
+        # chains whose start is unlaunchable adopt the best launchable
+        # start instead of burning budget stuck on an inf current point
+        best_i = None
+        for i, v in enumerate(values):
+            if math.isfinite(v) and (best_i is None or v < values[best_i]):
+                best_i = i
+        chains = []
+        for config, value in zip(starts, values):
+            if not math.isfinite(value) and best_i is not None:
+                config, value = starts[best_i], values[best_i]
+            chains.append([list(space.coords_of(config)), value])
+
+        steps = max(1, math.ceil((n - n_chains) / n_chains))
+        cooling = (self.t_final / self.t_initial) ** (1.0 / max(steps - 1, 1))
         temp = self.t_initial
         dims = len(space.parameters)
 
-        while len(history) < n:
-            d = int(rng.integers(dims))
-            step = int(rng.choice([-3, -2, -1, 1, 2, 3]))
-            cand_coords = list(coords)
-            cand_coords[d] += step
-            cand_coords = space.clip(cand_coords)
-            cand = space.config_at(cand_coords)
-            val = objective(cand)
-            self._track(history, cand, val)
-            if val < best_value:
-                best_config, best_value = cand, val
-            accept = False
-            if math.isfinite(val):
-                if val <= cur_val or not math.isfinite(cur_val):
-                    accept = True
+        while True:  # the driver stops the loop when the budget is spent
+            cands = []
+            for coords, cur_val in chains:
+                if not math.isfinite(cur_val):
+                    # still nowhere launchable: jump globally instead of
+                    # burning budget on local moves around an inf point
+                    cc = list(space.coords_of(space.random_config(rng)))
                 else:
-                    scale = max(abs(cur_val), 1e-30)
-                    prob = math.exp(-(val - cur_val) / (temp * scale))
-                    accept = rng.random() < prob
-            if accept:
-                coords, current, cur_val = tuple(cand_coords), cand, val
+                    d = int(rng.integers(dims))
+                    step = int(rng.choice([-3, -2, -1, 1, 2, 3]))
+                    cc = list(coords)
+                    cc[d] += step
+                cands.append(list(space.clip(cc)))
+            values = yield [space.config_at(cc) for cc in cands]
+            for chain, cc, val in zip(chains, cands, values):
+                cur_val = chain[1]
+                accept = False
+                if math.isfinite(val):
+                    if val <= cur_val or not math.isfinite(cur_val):
+                        accept = True
+                    else:
+                        scale = max(abs(cur_val), 1e-30)
+                        prob = math.exp(-(val - cur_val) / (temp * scale))
+                        accept = rng.random() < prob
+                if accept:
+                    chain[0], chain[1] = list(cc), val
             temp = max(temp * cooling, self.t_final)
-
-        return self._result(space, best_config, best_value, history)

@@ -4,45 +4,22 @@ Guaranteed to find the optimum; its cost (|space| empirical measurements)
 is the baseline every other strategy -- and the paper's static pruning --
 is compared against.
 
-Exhaustive enumeration is embarrassingly parallel, so this strategy is
-batch-aware: when the objective carries a ``batch`` attribute (installed
-by ``Autotuner.tune`` when a sweep engine is configured) the whole
-configuration list is evaluated in one call -- sharded across processes
-and served from the persistent cache -- instead of one point at a time.
-The evaluation order, history, and tie-breaking are identical either way.
+Exhaustive enumeration is embarrassingly parallel: the whole space is
+proposed as one ask/tell batch, so an engine-backed objective shards it
+across worker processes and serves repeats from the persistent cache.
+Evaluation order, history, and tie-breaking are identical to the serial
+point-by-point path.
 """
 
 from __future__ import annotations
 
-import itertools
-
-from repro.autotune.search.base import Objective, Search, SearchResult
+from repro.autotune.search.base import Search
 from repro.autotune.space import ParameterSpace
 
 
 class ExhaustiveSearch(Search):
     name = "exhaustive"
 
-    def search(self, space: ParameterSpace, objective: Objective,
-               budget: int | None = None) -> SearchResult:
-        batch = getattr(objective, "batch", None)
-        if batch is not None:
-            configs = list(itertools.islice(iter(space), budget))
-            values = batch(configs)
-            pairs = zip(configs, values)
-        else:
-            pairs = (
-                (config, objective(config))
-                for config in itertools.islice(iter(space), budget)
-            )
-        best_config = None
-        best_value = float("inf")
-        history: list = []
-        for config, value in pairs:
-            self._track(history, config, value)
-            if value < best_value:
-                best_value = value
-                best_config = config
-        if best_config is None:
-            raise ValueError("no configuration evaluated")
-        return self._result(space, best_config, best_value, history)
+    def _proposals(self, space: ParameterSpace, budget):
+        # one batch; the driver truncates it to any budget
+        yield list(space)

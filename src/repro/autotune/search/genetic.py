@@ -1,9 +1,18 @@
 """Genetic search: tournament selection, uniform crossover, lattice
-mutation, elitism."""
+mutation, elitism.
+
+Whole populations are proposed per generation: every member that has not
+been scored yet goes out as one ask/tell batch, which an engine-backed
+objective shards across workers and serves from the cache.  Elites and
+repeated individuals are re-scored from the evaluation cache without
+charging the budget, and a generation whose batch exceeds the remaining
+budget is truncated and the run terminated cleanly -- no ``inf``
+sentinels ever enter tournament selection.
+"""
 
 from __future__ import annotations
 
-from repro.autotune.search.base import Objective, Search, SearchResult
+from repro.autotune.search.base import Search, config_key
 from repro.autotune.space import ParameterSpace
 from repro.util.rng import rng_for
 
@@ -31,34 +40,29 @@ class GeneticSearch(Search):
         self.elite = elite
         self.seed = seed
 
-    def search(self, space: ParameterSpace, objective: Objective,
-               budget: int | None = None) -> SearchResult:
+    def _proposals(self, space: ParameterSpace, budget):
         rng = rng_for("search", "genetic", self.seed)
-        history: list = []
-        cache: dict = {}
-
-        def fitness(config: dict) -> float:
-            key = tuple(sorted(config.items()))
-            if key not in cache:
-                if budget is not None and len(history) >= budget:
-                    return float("inf")
-                val = objective(config)
-                self._track(history, config, val)
-                cache[key] = val
-            return cache[key]
-
-        pop = [space.random_config(rng) for _ in range(self.population)]
         dims = space.parameters
+        fit: dict = {}
+        pop = [space.random_config(rng) for _ in range(self.population)]
 
         def tournament() -> dict:
             a, b = rng.integers(len(pop)), rng.integers(len(pop))
             ca, cb = pop[int(a)], pop[int(b)]
-            return ca if fitness(ca) <= fitness(cb) else cb
+            return ca if fit[config_key(ca)] <= fit[config_key(cb)] else cb
 
         for _gen in range(self.generations):
-            if budget is not None and len(history) >= budget:
-                break
-            scored = sorted(pop, key=fitness)
+            fresh, seen = [], set()
+            for c in pop:
+                key = config_key(c)
+                if key not in fit and key not in seen:
+                    seen.add(key)
+                    fresh.append(c)
+            if fresh:
+                values = yield fresh
+                for c, v in zip(fresh, values):
+                    fit[config_key(c)] = v
+            scored = sorted(pop, key=lambda c: fit[config_key(c)])
             nxt = [dict(c) for c in scored[: self.elite]]
             while len(nxt) < self.population:
                 p1, p2 = tournament(), tournament()
@@ -71,8 +75,3 @@ class GeneticSearch(Search):
                         child[p.name] = p.values[int(rng.integers(len(p)))]
                 nxt.append(child)
             pop = nxt
-
-        best_config = min(cache, key=cache.get)
-        return self._result(
-            space, dict(best_config), cache[best_config], history
-        )

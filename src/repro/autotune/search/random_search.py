@@ -1,8 +1,13 @@
-"""Random search: uniform sampling without replacement (within budget)."""
+"""Random search: uniform sampling without replacement (within budget).
+
+Samples are proposed in blocks, so an engine-backed objective measures
+each block in one parallel, cache-served batch; the sampled sequence is
+identical to drawing one config at a time.
+"""
 
 from __future__ import annotations
 
-from repro.autotune.search.base import Objective, Search, SearchResult
+from repro.autotune.search.base import Search, config_key
 from repro.autotune.space import ParameterSpace
 from repro.util.rng import rng_for
 
@@ -10,34 +15,34 @@ from repro.util.rng import rng_for
 class RandomSearch(Search):
     name = "random"
 
-    def __init__(self, budget: int = 100, seed: int | None = None):
+    def __init__(self, budget: int = 100, block: int = 32,
+                 seed: int | None = None):
         if budget <= 0:
             raise ValueError("budget must be positive")
+        if block <= 0:
+            raise ValueError("block must be positive")
         self.budget = budget
+        self.block = block
         self.seed = seed
 
-    def search(self, space: ParameterSpace, objective: Objective,
-               budget: int | None = None) -> SearchResult:
-        n = budget if budget is not None else self.budget
-        n = min(n, len(space))
+    def _proposals(self, space: ParameterSpace, budget):
+        n = min(budget if budget is not None else self.budget, len(space))
         rng = rng_for("search", "random", self.seed)
         seen: set = set()
-        history: list = []
-        best_config = None
-        best_value = float("inf")
+        produced = 0
         attempts = 0
-        while len(history) < n and attempts < 50 * n:
-            attempts += 1
-            config = space.random_config(rng)
-            key = tuple(sorted(config.items()))
-            if key in seen:
-                continue
-            seen.add(key)
-            value = objective(config)
-            self._track(history, config, value)
-            if value < best_value:
-                best_value = value
-                best_config = config
-        if best_config is None:
-            raise ValueError("random search evaluated nothing")
-        return self._result(space, best_config, best_value, history)
+        while produced < n and attempts < 50 * n:
+            batch: list = []
+            want = min(self.block, n - produced)
+            while len(batch) < want and attempts < 50 * n:
+                attempts += 1
+                config = space.random_config(rng)
+                key = config_key(config)
+                if key in seen:
+                    continue
+                seen.add(key)
+                batch.append(config)
+            if not batch:
+                break
+            yield batch
+            produced += len(batch)

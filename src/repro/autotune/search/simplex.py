@@ -4,13 +4,22 @@ The simplex lives in continuous coordinate space (one dimension per
 parameter, in index units); every evaluation snaps to the nearest lattice
 point.  Standard reflection / expansion / contraction / shrink moves with
 restart on degenerate simplices.
+
+Initial, restart, and shrink simplices are whole ask/tell batches (an
+engine-backed objective measures them in parallel and serves repeats
+from the cache); the inherently sequential reflection / expansion /
+contraction probes go out as single-point batches.  Snapped points that
+were already evaluated are answered from the evaluation cache without
+charging the budget, and when the budget runs out the strategy is
+terminated cleanly -- no ``inf`` sentinels ever enter the simplex
+ordering.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.autotune.search.base import Objective, Search, SearchResult
+from repro.autotune.search.base import Search
 from repro.autotune.space import ParameterSpace
 from repro.util.rng import rng_for
 
@@ -27,25 +36,13 @@ class NelderMeadSearch(Search):
         self.seed = seed
         self.alpha, self.gamma, self.rho, self.sigma = alpha, gamma, rho, sigma
 
-    def search(self, space: ParameterSpace, objective: Objective,
-               budget: int | None = None) -> SearchResult:
+    def _proposals(self, space: ParameterSpace, budget):
         n_budget = budget if budget is not None else self.budget
         rng = rng_for("search", "simplex", self.seed)
         dims = len(space.parameters)
-        history: list = []
-        cache: dict = {}
 
-        def eval_point(x: np.ndarray) -> float:
-            coords = space.clip(np.round(x).astype(int))
-            config = space.config_at(coords)
-            key = coords
-            if key not in cache:
-                if len(history) >= n_budget:
-                    return float("inf")
-                val = objective(config)
-                self._track(history, config, val)
-                cache[key] = val
-            return cache[key]
+        def snap(x: np.ndarray) -> dict:
+            return space.config_at(space.clip(np.round(x).astype(int)))
 
         def random_simplex() -> list:
             base = np.array(
@@ -60,9 +57,12 @@ class NelderMeadSearch(Search):
             return pts
 
         simplex = random_simplex()
-        values = [eval_point(x) for x in simplex]
+        values = list((yield [snap(x) for x in simplex]))
 
-        while len(history) < n_budget:
+        # continuous coordinates can converge while snapping to the same
+        # lattice points (charging nothing), so bound the move count
+        max_moves = 50 * n_budget + 100
+        for _move in range(max_moves):
             order = np.argsort(values)
             simplex = [simplex[i] for i in order]
             values = [values[i] for i in order]
@@ -71,23 +71,23 @@ class NelderMeadSearch(Search):
 
             if np.allclose(simplex[0], worst):
                 simplex = random_simplex()  # degenerate: restart
-                values = [eval_point(x) for x in simplex]
+                values = list((yield [snap(x) for x in simplex]))
                 continue
 
             refl = centroid + self.alpha * (centroid - worst)
-            f_refl = eval_point(refl)
+            f_refl = (yield [snap(refl)])[0]
             if values[0] <= f_refl < values[-2]:
                 simplex[-1], values[-1] = refl, f_refl
             elif f_refl < values[0]:
                 exp = centroid + self.gamma * (refl - centroid)
-                f_exp = eval_point(exp)
+                f_exp = (yield [snap(exp)])[0]
                 if f_exp < f_refl:
                     simplex[-1], values[-1] = exp, f_exp
                 else:
                     simplex[-1], values[-1] = refl, f_refl
             else:
                 contr = centroid + self.rho * (worst - centroid)
-                f_contr = eval_point(contr)
+                f_contr = (yield [snap(contr)])[0]
                 if f_contr < values[-1]:
                     simplex[-1], values[-1] = contr, f_contr
                 else:
@@ -95,13 +95,5 @@ class NelderMeadSearch(Search):
                     simplex = [best] + [
                         best + self.sigma * (x - best) for x in simplex[1:]
                     ]
-                    values = [values[0]] + [
-                        eval_point(x) for x in simplex[1:]
-                    ]
-
-        if not cache:
-            raise ValueError("simplex search evaluated nothing")
-        best_key = min(cache, key=cache.get)
-        return self._result(
-            space, space.config_at(best_key), cache[best_key], history
-        )
+                    shrunk = list((yield [snap(x) for x in simplex[1:]]))
+                    values = [values[0]] + shrunk

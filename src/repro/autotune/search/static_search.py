@@ -22,7 +22,7 @@ from ``T*`` alone, ~93.8% with the rule.
 from __future__ import annotations
 
 from repro.arch.specs import GPUSpec
-from repro.autotune.search.base import Objective, Search, SearchResult
+from repro.autotune.search.base import Search, SearchResult
 from repro.autotune.search.exhaustive import ExhaustiveSearch
 from repro.autotune.space import ParameterSpace
 from repro.core.analyzer import StaticAnalyzer
@@ -64,16 +64,36 @@ class StaticSearch(Search):
         )
         return space.restrict("TC", allowed)
 
-    def search(self, space: ParameterSpace, objective: Objective,
-               budget: int | None = None) -> SearchResult:
-        reduced = self.pruned_space(space)
-        result = self.inner.search(reduced, objective, budget=budget)
+    # The ask/tell protocol delegates to the inner strategy on the
+    # pruned space; the base-class ``search`` driver therefore works
+    # unchanged, and the inner search inherits any batch-capable
+    # objective (engine sharding, persistent cache).
+
+    def reset(self, space: ParameterSpace, budget: int | None = None) -> None:
+        self._full_space = space
+        self.inner.reset(self.pruned_space(space), budget)
+
+    def ask(self, k: int | None = None) -> list:
+        return self.inner.ask(k)
+
+    def tell(self, configs: list, values: list) -> None:
+        self.inner.tell(configs, values)
+
+    @property
+    def evaluations(self) -> int:
+        return self.inner.evaluations
+
+    @property
+    def remaining(self) -> int | None:
+        return self.inner.remaining
+
+    @property
+    def done(self) -> bool:
+        return self.inner.done
+
+    def result(self, full_size: int | None = None) -> SearchResult:
         # report the reduction against the ORIGINAL space
-        return SearchResult(
-            best_config=result.best_config,
-            best_value=result.best_value,
-            evaluations=result.evaluations,
-            space_size=len(reduced),
-            full_space_size=len(space),
-            history=result.history,
+        return self.inner.result(
+            full_size=full_size if full_size is not None
+            else len(self._full_space)
         )

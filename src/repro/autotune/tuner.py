@@ -100,36 +100,22 @@ class Autotuner:
     ) -> TuneOutcome:
         """Run one tuning sweep at one input size.
 
-        With ``engine`` (or ``jobs``/``cache``), the objective grows a
-        ``batch`` attribute that routes whole configuration lists through
-        the sweep engine; batch-aware strategies (exhaustive, and static
-        via its inner search) pick it up, others fall back to point
-        evaluation transparently.
+        Every strategy evaluates through a
+        :class:`~repro.autotune.measure.BatchObjective`: the ask/tell
+        driver collects each proposal batch (a population, a set of
+        annealing chains, a simplex, a block of random samples, the
+        whole space) and measures it in one call.  With ``engine`` (or
+        ``jobs``/``cache``) those batches are sharded across worker
+        processes and served from the persistent cache; without one they
+        run inline through :meth:`Measurer.measure_many`.  Results are
+        identical in content and order either way.
         """
         measurer = Measurer(self.benchmark, self.gpu,
                             params=self.model_params)
         results = TuningResults(self.benchmark.name, self.gpu.name)
-
-        def objective(config: dict) -> float:
-            m = measurer.measure(config, size)
-            results.add(m)
-            return m.seconds
-
         eng = self._make_engine(engine, jobs, cache)
-        if eng is not None:
-            def batch(configs: list) -> list:
-                ms = eng.run(
-                    self.benchmark, self.gpu,
-                    [(c, size) for c in configs],
-                    params=self.model_params,
-                )
-                for m in ms:
-                    results.add(m)
-                measurer.evaluations += len(ms)
-                return [m.seconds for m in ms]
-
-            objective.batch = batch
-
+        objective = measurer.batch_objective(size, results=results,
+                                             engine=eng)
         strategy = self.make_search(search, use_rule=use_rule, size=size,
                                     **search_kwargs)
         sr = strategy.search(self.space, objective, budget=budget)

@@ -74,6 +74,11 @@ class SweepEngine:
             self.cache = CacheStore(Path(cache))
         self.progress = progress if progress is not None else NULL_PROGRESS
         self.last_stats: SweepStats | None = None
+        self.total_measured = 0
+        """Fresh measurements over the engine's lifetime (a search run
+        issues many small batches; ``last_stats`` only covers the last)."""
+        self.total_hits = 0
+        """Cache hits over the engine's lifetime."""
         self._executor = PoolExecutor(self.jobs)
 
     def close(self) -> None:
@@ -186,4 +191,6 @@ class SweepEngine:
             measured=len(misses),
             elapsed_s=time.monotonic() - t0,
         )
+        self.total_measured += len(misses)
+        self.total_hits += hits
         return results

@@ -1,7 +1,10 @@
 """Tests for the Orio-like autotuning framework: space, spec parsing,
-measurement, ranking, and every search strategy."""
+measurement, ranking, and every search strategy -- including the batch
+ask/tell protocol, budget accounting, infeasible-space behaviour, and
+byte-identical serial/parallel evaluation."""
 
 import math
+import os
 
 import pytest
 from hypothesis import given, settings, strategies as st
@@ -24,6 +27,10 @@ from repro.autotune import (
 from repro.autotune.space import Parameter, ParameterSpace
 from repro.autotune.spec import DEFAULT_SPEC_TEXT, SpecError
 from repro.kernels import get_benchmark
+
+#: worker count for the parallel-equivalence tests (the CI "batched" job
+#: raises it to exercise real multi-process sharding on every push)
+TEST_JOBS = int(os.environ.get("REPRO_TEST_JOBS", "2"))
 
 
 @pytest.fixture
@@ -264,3 +271,298 @@ class TestStaticSearchIntegration:
         tuner = Autotuner(bm, K20)
         with pytest.raises(ValueError, match="size"):
             tuner.make_search("static")
+
+
+# ---------------------------------------------------------------------------
+# the ask/tell protocol
+
+
+class TestAskTellProtocol:
+    def test_manual_drive_matches_search(self, small_space):
+        """Driving ask/tell by hand reproduces search() exactly."""
+        f, _ = _quadratic_objective(small_space)
+        auto = GeneticSearch(population=6, generations=4, seed=5).search(
+            small_space, f, budget=20
+        )
+        manual = GeneticSearch(population=6, generations=4, seed=5)
+        manual.reset(small_space, budget=20)
+        while not manual.done:
+            k = manual.remaining
+            if k == 0:
+                break
+            configs = manual.ask(k)
+            if not configs:
+                break
+            manual.tell(configs, [f(c) for c in configs])
+        got = manual.result()
+        assert got.history == auto.history
+        assert got.best_config == auto.best_config
+        assert got.best_value == auto.best_value
+
+    def test_ask_respects_k(self, small_space):
+        s = ExhaustiveSearch()
+        s.reset(small_space)
+        batch = s.ask(3)
+        assert len(batch) == 3
+        s.tell(batch, [1.0, 2.0, 3.0])
+        assert s.done  # truncated batch terminates the strategy
+        assert s.result().evaluations == 3
+
+    def test_ask_defaults_to_remaining_budget(self, small_space):
+        """ask() without k must not overrun the budget set in reset()."""
+        s = ExhaustiveSearch()
+        s.reset(small_space, budget=5)
+        batch = s.ask()
+        assert len(batch) == 5
+        s.tell(batch, [float(i) for i in range(5)])
+        assert s.result().evaluations == 5
+
+    def test_ask_while_pending_rejected(self, small_space):
+        s = RandomSearch(budget=8, seed=1)
+        s.reset(small_space)
+        s.ask(4)
+        with pytest.raises(RuntimeError, match="awaiting tell"):
+            s.ask(4)
+
+    def test_tell_without_ask_rejected(self, small_space):
+        s = RandomSearch(budget=8, seed=1)
+        s.reset(small_space)
+        with pytest.raises(RuntimeError, match="without a pending ask"):
+            s.tell([], [])
+
+    def test_tell_mismatch_rejected(self, small_space):
+        s = RandomSearch(budget=8, seed=1)
+        s.reset(small_space)
+        batch = s.ask(4)
+        with pytest.raises(ValueError, match="one value per"):
+            s.tell(batch, [1.0])
+        with pytest.raises(ValueError, match="do not match"):
+            s.tell(list(reversed(batch)), [1.0] * len(batch))
+
+    def test_result_before_any_tell_rejected(self, small_space):
+        s = RandomSearch(budget=8, seed=1)
+        s.reset(small_space)
+        with pytest.raises(ValueError, match="evaluated nothing"):
+            s.result()
+
+    def test_repeated_proposals_served_from_cache(self, small_space):
+        """Elites resurface every generation but are never re-charged."""
+        f, _ = _quadratic_objective(small_space)
+        calls = []
+
+        def counting(config):
+            calls.append(dict(config))
+            return f(config)
+
+        res = GeneticSearch(population=8, generations=6, seed=2).search(
+            small_space, counting
+        )
+        keys = [tuple(sorted(c.items())) for c in calls]
+        assert len(keys) == len(set(keys)), "a config was measured twice"
+        assert res.evaluations == len(calls)
+
+
+# ---------------------------------------------------------------------------
+# budget accounting and infeasible spaces (the seed's crash/wedge bugs)
+
+
+ALL_INF = float("inf")
+
+
+class TestBudgetAndInfeasible:
+    @pytest.mark.parametrize("cls,kwargs", [
+        (RandomSearch, {"budget": 10}),
+        (SimulatedAnnealingSearch, {"budget": 10}),
+        (GeneticSearch, {"population": 6, "generations": 2}),
+        (NelderMeadSearch, {"budget": 10}),
+        (ExhaustiveSearch, {}),
+    ])
+    def test_all_infeasible_space_returns_first_config(self, small_space,
+                                                       cls, kwargs):
+        """No strategy may crash when nothing is launchable; the result
+        reports the first evaluated config at inf."""
+        res = cls(**kwargs).search(small_space, lambda c: ALL_INF)
+        assert res.best_value == ALL_INF
+        assert res.best_config == res.history[0][0]
+        assert res.evaluations >= 1
+
+    def test_random_infeasible_spends_full_budget(self, small_space):
+        res = RandomSearch(budget=10, seed=4).search(
+            small_space, lambda c: ALL_INF
+        )
+        assert res.evaluations == 10
+
+    def test_annealing_exact_budget_accounting(self, small_space):
+        f, _ = _quadratic_objective(small_space)
+        for budget in (7, 16, 33):
+            res = SimulatedAnnealingSearch(seed=1).search(
+                small_space, f, budget=budget
+            )
+            assert res.evaluations == budget
+
+    def test_random_exact_budget_accounting(self, small_space):
+        f, _ = _quadratic_objective(small_space)
+        res = RandomSearch(seed=1).search(small_space, f, budget=9)
+        assert res.evaluations == 9
+        # a budget beyond the space clamps to the space size
+        res = RandomSearch(seed=1).search(small_space, f, budget=1000)
+        assert res.evaluations == len(small_space)
+
+    def test_genetic_budget_below_population_terminates(self, small_space):
+        """The seed spun its generation loop on uncached inf sentinels
+        here; now the run ends cleanly at exactly the budget."""
+        f, best = _quadratic_objective(small_space)
+        res = GeneticSearch(population=12, generations=5, seed=3).search(
+            small_space, f, budget=5
+        )
+        assert res.evaluations == 5
+        assert res.best_value == min(v for _, v in res.history)
+
+    def test_simplex_budget_below_simplex_size_terminates(self):
+        space = ParameterSpace([
+            Parameter("A", tuple(range(8))),
+            Parameter("B", tuple(range(8))),
+            Parameter("C", tuple(range(8))),
+        ])
+        f, _ = _quadratic_objective(space)
+        res = NelderMeadSearch(seed=3).search(space, f, budget=3)
+        assert res.evaluations == 3  # initial simplex alone needs 4
+
+    def test_budget_never_exceeded(self, small_space):
+        f, _ = _quadratic_objective(small_space)
+        for cls, kwargs in [
+            (RandomSearch, {}),
+            (SimulatedAnnealingSearch, {}),
+            (GeneticSearch, {"population": 6, "generations": 8}),
+            (NelderMeadSearch, {}),
+            (ExhaustiveSearch, {}),
+        ]:
+            res = cls(**kwargs).search(small_space, f, budget=11)
+            assert res.evaluations <= 11, cls.name
+
+    def test_annealing_reseeds_unlaunchable_start(self):
+        """Chains starting on an inf point adopt a launchable start (the
+        seed could wedge, burning budget without moving)."""
+        space = ParameterSpace([
+            Parameter("A", tuple(range(16))),
+            Parameter("B", tuple(range(16))),
+        ])
+
+        def half_infeasible(config):
+            if config["A"] < 8:
+                return ALL_INF
+            return 1.0 + (config["A"] - 12) ** 2 + (config["B"] - 8) ** 2
+
+        res = SimulatedAnnealingSearch(budget=60, seed=0).search(
+            space, half_infeasible
+        )
+        assert math.isfinite(res.best_value)
+        assert res.evaluations == 60
+        assert res.best_value <= 5.0
+
+
+# ---------------------------------------------------------------------------
+# batched evaluation through the sweep engine
+
+
+def _engine_space() -> ParameterSpace:
+    """A small but real slice of the Table III space (TC values overlap
+    the analyzer's T* so static search works on it too)."""
+    return ParameterSpace([
+        Parameter("TC", (64, 128, 256, 512)),
+        Parameter("BC", (48, 144)),
+        Parameter("UIF", (1, 3)),
+        Parameter("PL", (16,)),
+        Parameter("CFLAGS", ("", "-use_fast_math")),
+    ])
+
+
+STRATEGY_MATRIX = [
+    ("exhaustive", {}),
+    ("static", {}),
+    ("random", {"budget": 20}),
+    ("annealing", {"budget": 20}),
+    ("genetic", {"population": 6, "generations": 3}),
+    ("simplex", {"budget": 20}),
+]
+
+
+class TestBatchedStrategies:
+    """Every strategy must evaluate via batches through the engine and
+    produce byte-identical results across jobs settings."""
+
+    @pytest.mark.parametrize("search,kwargs", STRATEGY_MATRIX)
+    def test_engine_results_identical_to_serial(self, search, kwargs):
+        from repro.engine import SweepEngine
+        from repro.engine.cache import _encode
+
+        bm = get_benchmark("atax")
+
+        def tune(engine):
+            return Autotuner(bm, K20, space=_engine_space()).tune(
+                size=64, search=search, engine=engine, **kwargs
+            )
+
+        base = tune(None)
+        with SweepEngine(jobs=1) as eng1:
+            via_eng1 = tune(eng1)
+        with SweepEngine(jobs=TEST_JOBS) as engn:
+            via_engn = tune(engn)
+        for out in (via_eng1, via_engn):
+            assert out.search.history == base.search.history
+            assert out.best_config == base.best_config
+            assert out.best_seconds == base.best_seconds
+            assert [_encode(m) for m in out.results.measurements] == [
+                _encode(m) for m in base.results.measurements
+            ]
+
+    @pytest.mark.parametrize("search,kwargs", STRATEGY_MATRIX)
+    def test_every_strategy_consults_engine(self, search, kwargs):
+        from repro.engine import SweepEngine
+
+        bm = get_benchmark("atax")
+        with SweepEngine(jobs=1) as engine:
+            out = Autotuner(bm, K20, space=_engine_space()).tune(
+                size=64, search=search, engine=engine, **kwargs
+            )
+        assert engine.last_stats is not None, "engine never consulted"
+        assert engine.total_measured == out.search.evaluations
+
+    def test_warm_genetic_rerun_measures_nothing(self, tmp_path):
+        """A genetic re-run against a warm cache must be served entirely
+        from disk: zero fresh measurements."""
+        from repro.engine import CacheStore, SweepEngine
+
+        bm = get_benchmark("atax")
+
+        def tune(engine):
+            return Autotuner(bm, K20, space=_engine_space()).tune(
+                size=64, search="genetic", population=8, generations=3,
+                engine=engine,
+            )
+
+        with SweepEngine(jobs=1, cache=CacheStore(tmp_path)) as engine:
+            cold = tune(engine)
+            measured = engine.total_measured
+            assert measured == cold.search.evaluations > 0
+            warm = tune(engine)
+            assert engine.total_measured == measured, (
+                "warm re-run performed fresh measurements"
+            )
+            assert warm.search.history == cold.search.history
+            assert warm.best_config == cold.best_config
+
+    def test_tuner_jobs_cache_args_reach_every_strategy(self, tmp_path):
+        """The jobs=/cache= shorthand must batch heuristic strategies,
+        not only exhaustive/static."""
+        base = Autotuner(get_benchmark("atax"), K20,
+                         space=_engine_space()).tune(
+            size=64, search="random", budget=12
+        )
+        cached = Autotuner(get_benchmark("atax"), K20,
+                           space=_engine_space()).tune(
+            size=64, search="random", budget=12,
+            jobs=TEST_JOBS, cache=tmp_path,
+        )
+        assert cached.search.history == base.search.history
+        assert cached.best_config == base.best_config

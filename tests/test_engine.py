@@ -314,6 +314,45 @@ class TestTunerIntegration:
 
 
 # ---------------------------------------------------------------------------
+# the fig6 acceptance bar: every strategy batches through the engine
+
+
+class TestFig6Batching:
+    def test_warm_fig6_rerun_measures_nothing(self, tmp_path):
+        """A fig6 re-run against a warm cache -- exhaustive, static, RB,
+        and all four black-box strategies -- performs zero fresh
+        measurements."""
+        from repro.experiments import fig6_search_improvement
+
+        common.configure_sweeps(jobs=1, cache_dir=tmp_path)
+        kwargs = dict(archs=["kepler"], kernels=["atax"])
+        cold = fig6_search_improvement.run(**kwargs)
+        engine = common.shared_engine()
+        measured = engine.total_measured
+        assert measured > 0
+        common.clear_sweep_cache()
+        warm = fig6_search_improvement.run(**kwargs)
+        assert engine.total_measured == measured, (
+            "warm fig6 re-run performed fresh measurements"
+        )
+        assert warm == cold
+
+    def test_fig6_runs_all_black_box_strategies(self, tmp_path):
+        from repro.experiments import fig6_search_improvement
+
+        common.configure_sweeps(jobs=1, cache_dir=tmp_path)
+        res = fig6_search_improvement.run(archs=["kepler"],
+                                          kernels=["atax"])
+        row = res["rows"][0]
+        assert res["heuristics"] == ["random", "annealing", "genetic",
+                                     "simplex"]
+        for name in res["heuristics"]:
+            # same measurement budget as the static module
+            assert 0 < row[f"{name}_evals"] <= row["static_evals"]
+            assert row[f"{name}_quality"] >= 1.0 - 1e-9
+
+
+# ---------------------------------------------------------------------------
 # the runner CLI
 
 

@@ -76,7 +76,12 @@ class TestDynamicExperiments:
         row = res["rows"][0]
         assert row["static_improvement"] == pytest.approx(0.875)
         assert row["rb_improvement"] == pytest.approx(0.9375)
-        assert "improvement" in fig6_search_improvement.render(res).lower()
+        # the black-box baselines ride along at the static budget
+        for name in ("random", "annealing", "genetic", "simplex"):
+            assert 0 < row[f"{name}_evals"] <= row["static_evals"]
+        text = fig6_search_improvement.render(res)
+        assert "improvement" in text.lower()
+        assert "annealing" in text
 
 
 class TestRunner:
