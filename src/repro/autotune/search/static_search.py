@@ -62,7 +62,14 @@ class StaticSearch(Search):
         allowed = (
             report.rule_threads if self.use_rule else report.suggestion.threads
         )
-        return space.restrict("TC", allowed)
+        try:
+            return space.restrict("TC", allowed)
+        except ValueError:
+            # Corpus members may declare TC axes disjoint from the
+            # analyzer's suggestion (e.g. tile-multiple-only spaces).
+            # Search the unpruned space rather than crash; the reported
+            # space reduction is then honestly zero.
+            return space
 
     # The ask/tell protocol delegates to the inner strategy on the
     # pruned space; the base-class ``search`` driver therefore works

@@ -14,7 +14,6 @@ from repro.autotune.search import (
     StaticSearch,
     get_search,
 )
-from repro.autotune.spec import default_tuning_spec
 from repro.autotune.space import ParameterSpace
 from repro.kernels.base import Benchmark
 from repro.sim.timing import DEFAULT_PARAMS, ModelParams
@@ -55,7 +54,9 @@ class Autotuner:
     ):
         self.benchmark = benchmark
         self.gpu = gpu
-        self.space = space if space is not None else default_tuning_spec()
+        # a benchmark may declare its own default space (tile-constrained
+        # corpus members); everything else inherits the Table III space
+        self.space = space if space is not None else benchmark.default_space()
         self.model_params = model_params
 
     def make_search(self, search, use_rule: bool = False,

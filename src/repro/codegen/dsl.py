@@ -47,6 +47,9 @@ from repro.codegen.ast_nodes import (
     Store,
     Sync,
     VarRef,
+    stmt_exprs,
+    walk_exprs,
+    walk_stmts,
 )
 from repro.ptx.isa import DType
 
@@ -184,6 +187,47 @@ def sfor(v: VarRef, upper, body, lower=0) -> For:
         body=tuple(body),
         parallel=False,
     )
+
+
+def pfor2d(vi: VarRef, vj: VarRef, ni, nj, body, flat: VarRef | None = None):
+    """A parallel loop over a 2-D iteration domain ``[0,ni) x [0,nj)``.
+
+    The grid mapping supports exactly one flat parallel loop, so the
+    domain is linearized row-major: one parallel loop over ``ni*nj``
+    whose body first de-flattens the row/column indices
+
+    .. code-block:: c
+
+        for (f = 0; f < ni*nj; f++) {   /* parallel */
+          vi = f / nj;  vj = f % nj;
+          ...body...
+        }
+
+    which keeps ``vj`` the fastest-moving index, so lanes of a warp touch
+    consecutive columns (the coalescing-friendly orientation).  ``flat``
+    names the linear counter (default ``"<vi><vj>_flat"``).
+
+    Branch conditions inside ``body`` should be written over the flat
+    counter (``f // nj``, ``f % nj``) rather than ``vi``/``vj``: the
+    closed-form counting substrate evaluates conditions over loop
+    variables and parameters, not locally-assigned names.  An index the
+    body never reads gets no assignment (a kernel indexing by the flat
+    counter alone pays nothing for the 2-D view).
+    """
+    f = flat if flat is not None else ivar(f"{vi.name}{vj.name}_flat")
+    used = {
+        node.name
+        for s in walk_stmts(tuple(body))
+        for e in stmt_exprs(s)
+        for node in walk_exprs(e)
+        if isinstance(node, VarRef)
+    }
+    prelude = []
+    if vi.name in used:
+        prelude.append(assign(vi.name, f // _as_expr(nj)))
+    if vj.name in used:
+        prelude.append(assign(vj.name, f % _as_expr(nj)))
+    return pfor(f, _as_expr(ni) * _as_expr(nj), [*prelude, *body])
 
 
 def when(cond, then_body, else_body=(), prob: float | None = None) -> If:

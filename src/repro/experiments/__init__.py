@@ -20,6 +20,7 @@ Index (see DESIGN.md for the complete mapping):
 ``table7``            Suggested parameters T*, [Ru:R*], S*, occ* (Tab. VII)
 ``fig6``              Search-space improvement, static vs rules (Fig. 6)
 ``fig7``              Occupancy calculator, current vs potential (Fig. 7)
+``suite``             Cross-kernel corpus evaluation (beyond the paper)
 ====================  =====================================================
 """
 
@@ -37,4 +38,5 @@ ALL_EXPERIMENTS = (
     "table7",
     "fig6",
     "fig7",
+    "suite",
 )

@@ -24,7 +24,15 @@ import numpy as np
 
 
 def build_divergent_kernel(paths: int):
-    """A kernel whose warp splits into ``paths`` serialized branch arms."""
+    """A kernel whose warp splits into ``paths`` serialized branch arms.
+
+    The arms form an if/else-if chain (a switch over ``n % paths``), so
+    each thread executes exactly one arm and lanes of a warp fan out
+    across all ``paths`` of them.  Under SIMT execution with immediate-
+    post-dominator reconvergence the warp serializes every arm its lanes
+    touch -- issue counts grow toward ``paths``-fold while useful-lane
+    efficiency collapses.
+    """
     N = dsl.sparam("N")
     x = dsl.farray("x")
     out = dsl.farray("out")
@@ -38,13 +46,13 @@ def build_divergent_kernel(paths: int):
             e = e * dsl.f32(1.0001 + k * 0.1 + c) + dsl.f32(0.5 + c)
         return [dsl.assign("acc", e)]
 
+    def chain_from(k: int):
+        if k == paths - 1:
+            return heavy(k)
+        return [dsl.when((n % paths).eq(k), heavy(k), chain_from(k + 1))]
+
     body = [dsl.assign("acc", x[n])]
-    if paths > 1:
-        for k in range(paths - 1):
-            body.append(dsl.when((n % paths).eq(k), heavy(k)))
-        body.append(dsl.when((n % paths).eq(paths - 1), heavy(paths - 1)))
-    else:
-        body.extend(heavy(0))
+    body.extend(heavy(0) if paths == 1 else chain_from(0))
     body.append(out.store(n, acc))
 
     return dsl.kernel(

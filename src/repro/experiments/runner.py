@@ -26,6 +26,7 @@ import time
 from concurrent.futures import ProcessPoolExecutor
 from pathlib import Path
 
+from repro.arch.specs import ALL_GPUS, get_gpu
 from repro.engine import default_cache_dir, resolve_jobs
 from repro.experiments import ALL_EXPERIMENTS, common
 from repro.experiments import (
@@ -35,12 +36,15 @@ from repro.experiments import (
     fig5_time_model,
     fig6_search_improvement,
     fig7_occupancy_calc,
+    suite_eval,
     table1_gpus,
     table2_throughput,
     table5_statistics,
     table6_mix_errors,
     table7_suggestions,
 )
+from repro.kernels import BENCHMARKS, get_benchmark
+from repro.kernels.base import TAGS
 
 _MODULES = {
     "table1": table1_gpus,
@@ -54,6 +58,7 @@ _MODULES = {
     "table7": table7_suggestions,
     "fig6": fig6_search_improvement,
     "fig7": fig7_occupancy_calc,
+    "suite": suite_eval,
 }
 
 #: which kwargs each experiment accepts
@@ -69,6 +74,7 @@ _ACCEPTS = {
     "table7": {"archs", "kernels"},
     "fig6": {"full", "archs", "kernels"},
     "fig7": {"archs"},
+    "suite": {"full", "archs", "kernels", "tags"},
 }
 
 #: experiments drawing on the shared exhaustive sweep (and its in-process
@@ -84,7 +90,7 @@ SWEEP_POOLED = frozenset(
 
 
 def run_experiment(name: str, full: bool = False, archs=None,
-                   kernels=None) -> str:
+                   kernels=None, tags=None) -> str:
     """Run one experiment, return its rendered text."""
     if name not in _MODULES:
         raise KeyError(
@@ -98,13 +104,16 @@ def run_experiment(name: str, full: bool = False, archs=None,
         kwargs["archs"] = archs
     if "kernels" in _ACCEPTS[name] and kernels:
         kwargs["kernels"] = kernels
+    if "tags" in _ACCEPTS[name] and tags:
+        kwargs["tags"] = tags
     return mod.render(mod.run(**kwargs))
 
 
-def _run_timed(name: str, full: bool, archs, kernels) -> tuple:
+def _run_timed(name: str, full: bool, archs, kernels, tags=None) -> tuple:
     """``(text, elapsed)`` for one experiment (picklable pool target)."""
     t0 = time.time()
-    text = run_experiment(name, full=full, archs=archs, kernels=kernels)
+    text = run_experiment(name, full=full, archs=archs, kernels=kernels,
+                          tags=tags)
     return text, time.time() - t0
 
 
@@ -121,6 +130,9 @@ def main(argv=None) -> int:
                         help="restrict to an architecture (repeatable)")
     parser.add_argument("--kernel", action="append", dest="kernels",
                         help="restrict to a kernel (repeatable)")
+    parser.add_argument("--tag", action="append", dest="tags",
+                        help="restrict the suite corpus to a workload tag "
+                             f"(repeatable; one of {sorted(TAGS)})")
     parser.add_argument("--out", type=Path, default=None,
                         help="directory to write one .txt per experiment")
     parser.add_argument("--jobs", type=int, default=1, metavar="N",
@@ -142,6 +154,37 @@ def main(argv=None) -> int:
             parser.error(f"unknown experiment {name!r}")
     if args.jobs < 0:
         parser.error("--jobs must be >= 0")
+    # validate filter values up front: a typo should name the registry,
+    # not raise a KeyError three layers into an experiment
+    for kernel in args.kernels or ():
+        try:
+            get_benchmark(kernel)
+        except KeyError:
+            parser.error(
+                f"unknown kernel {kernel!r}; registered: "
+                f"{', '.join(sorted(BENCHMARKS))}"
+            )
+    for arch in args.archs or ():
+        try:
+            get_gpu(arch)
+        except KeyError:
+            parser.error(
+                f"unknown architecture {arch!r}; available: "
+                f"{', '.join(g.name for g in ALL_GPUS)} (or family aliases)"
+            )
+    for tag in args.tags or ():
+        if tag not in TAGS:
+            parser.error(
+                f"unknown tag {tag!r}; taxonomy: {', '.join(sorted(TAGS))}"
+            )
+    if "suite" in chosen and args.tags and args.kernels:
+        from repro.suite import corpus_members
+
+        if not corpus_members(tags=args.tags, kernels=args.kernels):
+            parser.error(
+                f"no registered benchmark matches both --tag {args.tags} "
+                f"and --kernel {args.kernels}"
+            )
 
     cache_dir = None
     if args.cache:
@@ -161,7 +204,7 @@ def main(argv=None) -> int:
         )
         futures = {
             n: executor.submit(_run_timed, n, args.full, args.archs,
-                               args.kernels)
+                               args.kernels, args.tags)
             for n in independents
         }
     try:
@@ -170,7 +213,7 @@ def main(argv=None) -> int:
                 text, elapsed = futures[name].result()
             else:
                 text, elapsed = _run_timed(name, args.full, args.archs,
-                                           args.kernels)
+                                           args.kernels, args.tags)
             header = f"##### {name} ({elapsed:.1f}s) " + "#" * 30
             print(header)
             print(text)
@@ -181,7 +224,25 @@ def main(argv=None) -> int:
     finally:
         if executor is not None:
             executor.shutdown()
+    if args.progress:
+        _print_engine_summary()
     return 0
+
+
+def _print_engine_summary() -> None:
+    """One-line lifetime cache summary for the shared engine (stderr, so
+    stdout stays byte-identical with and without ``--progress``)."""
+    engine = common.shared_engine()
+    if engine is None:
+        return
+    total = engine.total_measured + engine.total_hits
+    rate = engine.total_hits / total if total else 0.0
+    print(
+        f"[engine] {engine.total_measured} measured, "
+        f"{engine.total_hits} cache hits ({rate:.1%} hit rate) "
+        f"over {total} evaluations",
+        file=sys.stderr,
+    )
 
 
 if __name__ == "__main__":

@@ -16,41 +16,13 @@ from __future__ import annotations
 
 from repro.arch.throughput import PipeClass
 from repro.codegen.compiler import CompileOptions, compile_module
-from repro.core.instruction_mix import static_mix_module
 from repro.experiments.common import resolve_gpus, resolve_kernels
 from repro.kernels import get_benchmark
-from repro.sim.counting import exact_counts
-from repro.sim.timing import LaunchConfig
+from repro.suite.evaluate import BASELINE_TC, mix_error_by_class
 from repro.util.tables import ascii_table
 
 _FAMILY_SHORT = {"Fermi": "Fer", "Kepler": "Kep", "Maxwell": "Max",
                  "Pascal": "Pas"}
-
-_BASELINE_TC = 128
-
-
-def _baseline_launch(module, env) -> LaunchConfig:
-    """The dynamic baseline: TC=128 with a grid sized to the work.
-
-    Launching far more threads than parallel-loop iterations would fill the
-    dynamic counts with idle-thread preambles and say nothing about the
-    kernel; a practitioner sizes the grid to ``ceil(M / TC)`` (capped at
-    the tuning space's maximum of 192 blocks).
-    """
-    from repro.codegen.ast_nodes import evaluate_expr
-
-    extent = 0
-    for ck in module:
-        if ck.parallel_extent is not None:
-            extent = max(extent, int(evaluate_expr(ck.parallel_extent, env)))
-    bc = max(1, min(192, -(-extent // _BASELINE_TC))) if extent else 1
-    return LaunchConfig(tc=_BASELINE_TC, bc=bc)
-
-
-def _fractions(by_pipe: dict) -> dict:
-    tot = sum(v for k, v in by_pipe.items() if k is not PipeClass.REG)
-    tot = max(tot, 1e-12)
-    return {k: v / tot for k, v in by_pipe.items() if k is not PipeClass.REG}
 
 
 def run(archs=("fermi", "kepler", "maxwell"), kernels=None,
@@ -65,24 +37,7 @@ def run(archs=("fermi", "kepler", "maxwell"), kernels=None,
             module = compile_module(
                 kernel, list(bm.specs), CompileOptions(gpu=gpu)
             )
-            errs = {PipeClass.FLOPS: 0.0, PipeClass.MEM: 0.0,
-                    PipeClass.CTRL: 0.0}
-            itns = 0.0
-            for n in sizes:
-                env = bm.param_env(n)
-                smix = static_mix_module(module, env)
-                sfrac = _fractions(smix.by_pipe())
-                launch = _baseline_launch(module, env)
-                dyn_pipe = {p: 0.0 for p in PipeClass}
-                for ck in module:
-                    dc = exact_counts(ck, env, launch.tc, launch.bc)
-                    for p, v in dc.by_pipe().items():
-                        dyn_pipe[p] += v
-                dfrac = _fractions(dyn_pipe)
-                for p in errs:
-                    d = max(dfrac[p], 1e-12)
-                    errs[p] += ((sfrac[p] - d) / d) ** 2
-                itns = smix.intensity
+            errs, itns = mix_error_by_class(module, bm.param_env, sizes)
             rows.append({
                 "kernel": kernel,
                 "arch": _FAMILY_SHORT[gpu.family],
@@ -91,7 +46,7 @@ def run(archs=("fermi", "kepler", "maxwell"), kernels=None,
                 "ctrl": errs[PipeClass.CTRL],
                 "intensity": itns,
             })
-    return {"rows": rows, "baseline_tc": _BASELINE_TC}
+    return {"rows": rows, "baseline_tc": BASELINE_TC}
 
 
 def render(result: dict) -> str:

@@ -1,22 +1,56 @@
-"""The benchmark kernels of the paper's Table IV.
+"""The workload corpus: the paper's Table IV kernels plus the suite
+extensions, all registered by name and tagged by workload class.
 
 ============  ==========================  ==========================
-Kernel        Category                    Operation
+Kernel        Tags                        Operation
 ============  ==========================  ==========================
-atax          Elementary linear algebra   y = A^T (A x)
-BiCG          Linear solvers              q = A p,  s = A^T r
-ex14FJ        3-D Jacobi computation      F(x) = A(u) v (Bratu solid
-                                          fuel ignition Jacobian)
-matVec2D      Elementary linear algebra   y = A x (2-D decomposition)
+atax          memory-bound, multi-pass    y = A^T (A x)
+BiCG          memory-bound, multi-pass    q = A p,  s = A^T r
+ex14FJ        compute-bound, stencil      F(x) = A(u) v (Bratu solid
+                                          fuel ignition Jacobian, 3-D)
+matVec2D      memory-bound                y = A x (2-D decomposition)
+matvec_smem   memory-bound                y = A x (shared-memory tiles)
+gemm          compute-bound               C = alpha A B + beta C
+mvt           memory-bound, multi-pass    x1 += A y1,  x2 += A^T y2
+gesummv       memory-bound                y = alpha A x + beta B x
+jacobi2d      stencil, memory-bound       one 5-point Jacobi sweep
+dot           reduction, memory-bound     out = x . y (smem tree +
+                                          atomicAdd)
+gemver        memory-bound, multi-pass    rank-2 update + dependent
+                                          matrix-vector passes
 ============  ==========================  ==========================
 
-Each benchmark bundles: the kernel spec(s) in the loop-nest DSL (the form
-Orio transforms), a NumPy reference implementation used to validate the
-emulator, an input generator, and the problem sizes the paper sweeps.
+The first four are the paper's Table IV set (what the paper experiments
+sweep by default); the rest are suite extensions selectable by tag via
+:func:`list_benchmarks` and driven end to end by the ``suite``
+experiment.  Each benchmark bundles: the kernel spec(s) in the loop-nest
+DSL (the form Orio transforms), a NumPy reference implementation used to
+validate the emulator, an input generator, the problem sizes swept, and
+its corpus tags.
 """
 
-from repro.kernels.base import Benchmark, BENCHMARKS, get_benchmark
+from repro.kernels.base import (
+    BENCHMARKS,
+    Benchmark,
+    TAGS,
+    get_benchmark,
+    list_benchmarks,
+)
 from repro.kernels import atax, bicg, ex14fj, matvec2d  # noqa: F401  (register)
-from repro.kernels import matvec_smem  # noqa: F401  (extension kernel)
+from repro.kernels import (  # noqa: F401  (suite extension kernels)
+    dot,
+    gemm,
+    gemver,
+    gesummv,
+    jacobi2d,
+    matvec_smem,
+    mvt,
+)
 
-__all__ = ["Benchmark", "BENCHMARKS", "get_benchmark"]
+__all__ = [
+    "Benchmark",
+    "BENCHMARKS",
+    "TAGS",
+    "get_benchmark",
+    "list_benchmarks",
+]

@@ -96,5 +96,6 @@ ATAX = register(
         sizes=(32, 64, 128, 256, 512),
         param_env=lambda n: {"N": n},
         output_names=("tmp", "y"),
+        tags=("memory-bound", "multi-pass"),
     )
 )

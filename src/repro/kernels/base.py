@@ -1,4 +1,16 @@
-"""Benchmark registry and the common benchmark interface."""
+"""Benchmark registry and the common benchmark interface.
+
+The registry is the workload corpus the whole stack is exercised
+against.  Every benchmark carries a set of *tags* from the fixed
+taxonomy in :data:`TAGS` (``memory-bound``, ``compute-bound``,
+``stencil``, ``reduction``, ``multi-pass``) so callers -- the ``suite``
+experiment, examples, tests -- can select coherent sub-corpora with
+:func:`list_benchmarks`.  Benchmarks whose structure constrains the
+tuning space (shared-memory tiles, block-level reductions) declare their
+own default :class:`~repro.autotune.space.ParameterSpace` and an
+emulation-safe launch configuration instead of inheriting the paper's
+Table III defaults.
+"""
 
 from __future__ import annotations
 
@@ -6,6 +18,33 @@ from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
 import numpy as np
+
+TAGS = frozenset({
+    "memory-bound",
+    "compute-bound",
+    "stencil",
+    "reduction",
+    "multi-pass",
+})
+"""The corpus tag taxonomy.
+
+``memory-bound``
+    Performance limited by global-memory streams (low computational
+    intensity: atax, BiCG, the matvec family, mvt, gesummv, gemver).
+``compute-bound``
+    Arithmetic-dense kernels (high intensity: ex14FJ, gemm).
+``stencil``
+    Neighbourhood reads with halo/boundary handling (ex14FJ, jacobi2d).
+``reduction``
+    Cross-thread combining via shared memory and/or atomics (dot).
+``multi-pass``
+    Several dependent kernel launches per run (atax, BiCG, mvt, gemver).
+"""
+
+DEFAULT_EMU_LAUNCH = (32, 4)
+"""Launch configuration used for emulator validation when a benchmark
+does not constrain its launch (``tc=32, bc=4`` covers every unconstrained
+kernel via the grid-stride mapping)."""
 
 
 @dataclass(frozen=True)
@@ -30,6 +69,19 @@ class Benchmark:
         evaluation (e.g. ``{"N": N, "NN": N*N}``).
     output_names:
         Parameter names holding results (checked against the reference).
+    tags:
+        Corpus tags, a subset of :data:`TAGS`.
+    tuning_space:
+        Optional zero-argument factory for the benchmark's own default
+        :class:`~repro.autotune.space.ParameterSpace` (declared when the
+        kernel's structure constrains TC/UIF, e.g. block-level
+        reductions needing TC a tile multiple).  ``None`` inherits the
+        paper's Table III space.
+    emulation_launch:
+        Optional ``f(N) -> (tc, bc)`` giving a launch configuration that
+        satisfies the kernel's cooperative constraints under emulation
+        (barrier trip counts, tile alignment).  ``None`` uses
+        :data:`DEFAULT_EMU_LAUNCH`.
     """
 
     name: str
@@ -40,6 +92,17 @@ class Benchmark:
     sizes: tuple
     param_env: Callable
     output_names: tuple
+    tags: tuple = ()
+    tuning_space: Callable | None = None
+    emulation_launch: Callable | None = None
+
+    def __post_init__(self):
+        unknown = set(self.tags) - TAGS
+        if unknown:
+            raise ValueError(
+                f"benchmark {self.name!r} has unknown tags {sorted(unknown)}; "
+                f"taxonomy: {sorted(TAGS)}"
+            )
 
     def work_extent(self, n: int) -> int:
         """Total parallel-loop iterations at size ``n`` (max over kernels)."""
@@ -55,6 +118,26 @@ class Benchmark:
                     )
                     worst = max(worst, span)
         return worst
+
+    @property
+    def smallest_size(self) -> int:
+        return min(self.sizes)
+
+    def default_space(self):
+        """The benchmark's own tuning space, or the paper's Table III
+        space when none is declared."""
+        if self.tuning_space is not None:
+            return self.tuning_space()
+        from repro.autotune.spec import default_tuning_spec
+
+        return default_tuning_spec()
+
+    def emu_launch(self, n: int) -> tuple[int, int]:
+        """An emulation-safe ``(tc, bc)`` at size ``n``."""
+        if self.emulation_launch is not None:
+            tc, bc = self.emulation_launch(n)
+            return int(tc), int(bc)
+        return DEFAULT_EMU_LAUNCH
 
 
 BENCHMARKS: dict[str, Benchmark] = {}
@@ -74,3 +157,18 @@ def get_benchmark(name: str) -> Benchmark:
             f"unknown benchmark {name!r}; available: {sorted(BENCHMARKS)}"
         )
     return BENCHMARKS[key]
+
+
+def list_benchmarks(tag: str | None = None) -> list[Benchmark]:
+    """Registered benchmarks, sorted by name; ``tag`` filters the corpus.
+
+    >>> [b.name for b in list_benchmarks(tag="stencil")]
+    ['ex14fj', 'jacobi2d']
+    """
+    if tag is not None and tag not in TAGS:
+        raise KeyError(f"unknown tag {tag!r}; taxonomy: {sorted(TAGS)}")
+    out = [
+        b for b in BENCHMARKS.values()
+        if tag is None or tag in b.tags
+    ]
+    return sorted(out, key=lambda b: b.name)

@@ -97,5 +97,6 @@ BICG = register(
         sizes=(32, 64, 128, 256, 512),
         param_env=lambda n: {"N": n},
         output_names=("q", "s"),
+        tags=("memory-bound", "multi-pass"),
     )
 )

@@ -1,0 +1,129 @@
+"""dot: out[0] = sum_i x[i] y[i]  -- block-level tree reduction.
+
+The corpus's *reduction* member, exercising the cooperative substrate the
+streaming kernels leave cold: each 128-iteration tile stages its
+products in a ``__shared__`` array behind a barrier, folds them with a
+log2-step tree (seven halving rounds of ``xs[lane] += xs[lane+stride]``,
+each behind its own ``bar.sync``), and lane 0 finishes the tile with one
+global ``atomicAdd`` into the scalar accumulator.  The halving ``when``
+guards turn warps partially off round by round -- real intra-warp
+divergence with *useful* serialized arms, unlike the boundary tests of
+the stencils.
+
+Constraints (documented here, satisfied by :meth:`Benchmark.emu_launch`
+and the declared tuning space): the reduction tree is correct only when
+``TC == 128`` exactly (each block's shared tile holds exactly the 128
+products of one tile, ``lane == threadIdx``) and every thread runs the
+same number of grid-stride iterations (``N % (TC*BC) == 0``), so that
+all warps of a block reach each barrier the same number of times.  The
+input sizes are therefore multiples of 512 and the emulation launch is
+``(128, 4)``.  Sweep *measurements* are closed-form and do not emulate,
+so the declared space may still range ``TC`` over tile multiples.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.codegen import dsl
+from repro.codegen.ast_nodes import Load, Store
+from repro.kernels.base import Benchmark, register
+from repro.ptx.isa import DType
+
+TILE = 128
+
+N = dsl.sparam("N")
+x = dsl.farray("x")
+y = dsl.farray("y")
+out = dsl.farray("out")
+
+_i = dsl.ivar("i")
+_lane = dsl.ivar("lane")
+
+
+def _xs(index):
+    return Load("xs", dsl._as_expr(index), DType.F32)
+
+
+def _tree_reduction():
+    """Seven halving rounds, each guarded and barriered.
+
+    The guards are written over the loop variable (``i % TILE``) rather
+    than the ``lane`` local so the closed-form counting substrate can
+    evaluate the branch fractions exactly.
+    """
+    steps = []
+    stride = TILE // 2
+    while stride >= 1:
+        steps.append(dsl.when(
+            (_i % TILE).lt(stride),
+            [Store("xs", _lane, _xs(_lane) + _xs(_lane + stride))],
+        ))
+        steps.append(dsl.sync())
+        stride //= 2
+    return steps
+
+
+DOT_K = dsl.kernel(
+    "dot",
+    params=[N, x, y, out],
+    body=[
+        dsl.pfor(_i, N, [
+            dsl.assign("lane", _i % TILE),
+            Store("xs", _lane, x[_i] * y[_i]),
+            dsl.sync(),
+            *_tree_reduction(),
+            dsl.when((_i % TILE).eq(0), [out.atomic_add(0, _xs(0))]),
+            dsl.sync(),
+        ]),
+    ],
+    smem_arrays=(("xs", TILE, DType.F32),),
+)
+
+
+def tuning_space():
+    """The Table III space with TC restricted to tile multiples and UIF
+    pinned (the kernel has no sequential inner loop to unroll)."""
+    from repro.autotune.spec import default_tuning_spec
+
+    return (
+        default_tuning_spec()
+        .restrict("TC", tuple(range(TILE, 1025, TILE)))
+        .restrict("UIF", (1,))
+    )
+
+
+def make_inputs(n: int, rng: np.random.Generator) -> dict:
+    if n % (TILE * 4):
+        raise ValueError(f"dot requires N % {TILE * 4} == 0, got {n}")
+    return {
+        "N": n,
+        "x": rng.standard_normal(n).astype(np.float32),
+        "y": rng.standard_normal(n).astype(np.float32),
+        "out": np.zeros(1, dtype=np.float32),
+    }
+
+
+def reference(inputs: dict) -> dict:
+    acc = float(
+        inputs["x"].astype(np.float64) @ inputs["y"].astype(np.float64)
+    )
+    return {"out": np.array([acc], dtype=np.float32)}
+
+
+DOT = register(
+    Benchmark(
+        name="dot",
+        description="Dot product via shared-memory tree reduction "
+                    "+ atomicAdd finish",
+        specs=(DOT_K,),
+        make_inputs=make_inputs,
+        reference=reference,
+        sizes=(512, 1024, 2048, 4096, 8192),
+        param_env=lambda n: {"N": n},
+        output_names=("out",),
+        tags=("reduction", "memory-bound"),
+        tuning_space=tuning_space,
+        emulation_launch=lambda n: (TILE, 4),
+    )
+)

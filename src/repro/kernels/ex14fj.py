@@ -136,5 +136,6 @@ EX14FJ = register(
         sizes=(8, 16, 32, 64, 128),
         param_env=lambda n: {"N": n, "NN": n * n, "NNN": n * n * n},
         output_names=("out",),
+        tags=("compute-bound", "stencil"),
     )
 )

@@ -1,0 +1,131 @@
+"""gemver: vector multiplication and matrix addition (polybench form).
+
+Four *dependent* passes -- the longest launch chain in the corpus, twice
+atax's depth:
+
+1. ``A = A + u1 v1^T + u2 v2^T``   (rank-2 update, one thread per element)
+2. ``x = x + beta A^T y``          (column-parallel, reads pass 1's A)
+3. ``x = x + z``                   (elementwise)
+4. ``w = w + alpha A x``           (row-parallel, reads passes 1-3)
+
+Every pass streams more global data than it computes on (the rank-2
+update is three N^2 streams for four FLOPs per element), so gemver is
+memory-bound end to end, and each pass re-reads its predecessor's output
+from global memory -- the multi-pass shape that makes cross-launch cache
+behaviour matter.  Parallelism alternates between ``N^2`` (passes 1)
+and ``N`` (passes 2-4), so no single thread count suits all four
+launches -- a deliberately awkward member for the static module.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.codegen import dsl
+from repro.kernels.base import Benchmark, register
+
+N = dsl.sparam("N")
+alpha = dsl.sparam("alpha", "f32")
+beta = dsl.sparam("beta", "f32")
+A = dsl.farray("A")
+u1 = dsl.farray("u1")
+v1 = dsl.farray("v1")
+u2 = dsl.farray("u2")
+v2 = dsl.farray("v2")
+x = dsl.farray("x")
+y = dsl.farray("y")
+z = dsl.farray("z")
+w = dsl.farray("w")
+
+_i, _j, _n = dsl.ivars("i", "j", "n")
+_s = dsl.var("s", "f32")
+
+GEMVER_K1 = dsl.kernel(
+    "gemver_rank2",
+    params=[N, A, u1, v1, u2, v2],
+    body=[
+        dsl.pfor2d(_i, _j, N, N, [
+            A.store(_n, A[_n] + u1[_i] * v1[_j] + u2[_i] * v2[_j]),
+        ], flat=_n),
+    ],
+)
+
+GEMVER_K2 = dsl.kernel(
+    "gemver_xupdate",
+    params=[N, beta, A, x, y],
+    body=[
+        dsl.pfor(_j, N, [
+            dsl.assign("s", x[_j]),
+            dsl.sfor(_i, N, [
+                dsl.assign("s", _s + beta * A[_i * N + _j] * y[_i]),
+            ]),
+            x.store(_j, _s),
+        ]),
+    ],
+)
+
+GEMVER_K3 = dsl.kernel(
+    "gemver_xshift",
+    params=[N, x, z],
+    body=[
+        dsl.pfor(_i, N, [
+            x.store(_i, x[_i] + z[_i]),
+        ]),
+    ],
+)
+
+GEMVER_K4 = dsl.kernel(
+    "gemver_w",
+    params=[N, alpha, A, x, w],
+    body=[
+        dsl.pfor(_i, N, [
+            dsl.assign("s", w[_i]),
+            dsl.sfor(_j, N, [
+                dsl.assign("s", _s + alpha * A[_i * N + _j] * x[_j]),
+            ]),
+            w.store(_i, _s),
+        ]),
+    ],
+)
+
+
+def make_inputs(n: int, rng: np.random.Generator) -> dict:
+    vec = lambda: rng.standard_normal(n).astype(np.float32)  # noqa: E731
+    return {
+        "N": n,
+        "alpha": np.float32(1.5),
+        "beta": np.float32(1.2),
+        "A": rng.standard_normal((n, n)).astype(np.float32).reshape(-1),
+        "u1": vec(), "v1": vec(), "u2": vec(), "v2": vec(),
+        "x": vec(), "y": vec(), "z": vec(),
+        "w": np.zeros(n, dtype=np.float32),
+    }
+
+
+def reference(inputs: dict) -> dict:
+    n = inputs["N"]
+    f64 = lambda k: inputs[k].astype(np.float64)  # noqa: E731
+    a = f64("A").reshape(n, n)
+    a = a + np.outer(f64("u1"), f64("v1")) + np.outer(f64("u2"), f64("v2"))
+    xv = f64("x") + float(inputs["beta"]) * (a.T @ f64("y")) + f64("z")
+    wv = f64("w") + float(inputs["alpha"]) * (a @ xv)
+    return {
+        "A": a.reshape(-1).astype(np.float32),
+        "x": xv.astype(np.float32),
+        "w": wv.astype(np.float32),
+    }
+
+
+GEMVER = register(
+    Benchmark(
+        name="gemver",
+        description="Rank-2 update then two dependent matrix-vector passes",
+        specs=(GEMVER_K1, GEMVER_K2, GEMVER_K3, GEMVER_K4),
+        make_inputs=make_inputs,
+        reference=reference,
+        sizes=(32, 64, 128, 256, 512),
+        param_env=lambda n: {"N": n},
+        output_names=("A", "x", "w"),
+        tags=("memory-bound", "multi-pass"),
+    )
+)

@@ -1,0 +1,83 @@
+"""gesummv: y = alpha A x + beta B x  (scalar-vector-matrix sum, polybench).
+
+A single row-parallel pass that streams *two* row-major matrices against
+one shared vector: each thread accumulates both partial products for its
+row and combines them on the way out.  Doubling the matrix traffic
+without adding reuse gives gesummv the heaviest memory stream per FLOP
+of the single-pass corpus members (four global reads per two
+multiply-add pairs) -- a pure memory-bound workload with atax-like
+``N``-way parallelism.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.codegen import dsl
+from repro.kernels.base import Benchmark, register
+
+N = dsl.sparam("N")
+alpha = dsl.sparam("alpha", "f32")
+beta = dsl.sparam("beta", "f32")
+A = dsl.farray("A")
+B = dsl.farray("B")
+x = dsl.farray("x")
+y = dsl.farray("y")
+
+_i, _j = dsl.ivars("i", "j")
+_sa = dsl.var("sa", "f32")
+_sb = dsl.var("sb", "f32")
+_ib = dsl.ivar("ib")
+
+GESUMMV_K = dsl.kernel(
+    "gesummv",
+    params=[N, alpha, beta, A, B, x, y],
+    body=[
+        dsl.pfor(_i, N, [
+            dsl.assign("sa", dsl.f32(0.0)),
+            dsl.assign("sb", dsl.f32(0.0)),
+            dsl.assign("ib", _i * N),
+            dsl.sfor(_j, N, [
+                dsl.assign("sa", _sa + A[_ib + _j] * x[_j]),
+                dsl.assign("sb", _sb + B[_ib + _j] * x[_j]),
+            ]),
+            y.store(_i, alpha * _sa + beta * _sb),
+        ]),
+    ],
+)
+
+
+def make_inputs(n: int, rng: np.random.Generator) -> dict:
+    return {
+        "N": n,
+        "alpha": np.float32(1.5),
+        "beta": np.float32(1.2),
+        "A": rng.standard_normal((n, n)).astype(np.float32).reshape(-1),
+        "B": rng.standard_normal((n, n)).astype(np.float32).reshape(-1),
+        "x": rng.standard_normal(n).astype(np.float32),
+        "y": np.zeros(n, dtype=np.float32),
+    }
+
+
+def reference(inputs: dict) -> dict:
+    n = inputs["N"]
+    a = inputs["A"].reshape(n, n).astype(np.float64)
+    b = inputs["B"].reshape(n, n).astype(np.float64)
+    xv = inputs["x"].astype(np.float64)
+    out = float(inputs["alpha"]) * (a @ xv) + float(inputs["beta"]) * (b @ xv)
+    return {"y": out.astype(np.float32)}
+
+
+GESUMMV = register(
+    Benchmark(
+        name="gesummv",
+        description="Scalar, vector and matrix sum: y = alpha A x + beta B x",
+        specs=(GESUMMV_K,),
+        make_inputs=make_inputs,
+        reference=reference,
+        sizes=(32, 64, 128, 256, 512),
+        param_env=lambda n: {"N": n},
+        output_names=("y",),
+        tags=("memory-bound",),
+    )
+)

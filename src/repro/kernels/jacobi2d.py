@@ -1,0 +1,96 @@
+"""jacobi2d: one 5-point Jacobi relaxation sweep over an N x N grid.
+
+The 2-D companion to ex14FJ's 3-D stencil: one thread per grid point over
+the flattened domain (:func:`~repro.codegen.dsl.pfor2d`), a divergent
+boundary test (edge points copy the input, the Dirichlet frame), and
+halo reads of the four nearest neighbours:
+
+    B[i][j] = 0.2 (A[i][j] + A[i][j-1] + A[i][j+1] + A[i-1][j] + A[i+1][j])
+
+Unlike ex14FJ there is no variable coefficient and no special function --
+five coalesced-or-adjacent reads against four adds and one multiply make
+the sweep *memory-bound*, so the two stencils bracket the intensity axis
+of the tag taxonomy.  Warps straddle the domain edge every N threads
+(the row seam), giving a higher divergence rate than the 3-D kernel at
+equal point counts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.codegen import dsl
+from repro.kernels.base import Benchmark, register
+
+N = dsl.sparam("N")
+A = dsl.farray("A")
+B = dsl.farray("B")
+
+_i, _j, _n = dsl.ivars("i", "j", "n")
+
+_fifth = dsl.f32(0.2)
+
+
+def _edge(c):
+    return dsl.either(c.eq(0), c.eq(N - 1))
+
+
+def _boundary_cond():
+    # written over the flat loop variable (``n//N``, ``n%N`` rather than
+    # the ``i``/``j`` locals) so branch fractions stay exactly countable
+    return dsl.either(_edge(_n // N), _edge(_n % N))
+
+
+JACOBI2D_K = dsl.kernel(
+    "jacobi2d",
+    params=[N, A, B],
+    body=[
+        dsl.pfor2d(_i, _j, N, N, [
+            dsl.when(
+                _boundary_cond(),
+                # Dirichlet frame: pass-through
+                [B.store(_n, A[_n])],
+                # interior: 5-point halo read
+                [B.store(
+                    _n,
+                    _fifth * (A[_n] + A[_n - 1] + A[_n + 1]
+                              + A[_n - N] + A[_n + N]),
+                )],
+            ),
+        ], flat=_n),
+    ],
+)
+
+
+def make_inputs(n: int, rng: np.random.Generator) -> dict:
+    return {
+        "N": n,
+        "A": rng.standard_normal((n, n)).astype(np.float32).reshape(-1),
+        "B": np.zeros(n * n, dtype=np.float32),
+    }
+
+
+def reference(inputs: dict) -> dict:
+    n = inputs["N"]
+    a = inputs["A"].reshape(n, n).astype(np.float64)
+    out = a.copy()
+    out[1:-1, 1:-1] = 0.2 * (
+        a[1:-1, 1:-1] + a[1:-1, :-2] + a[1:-1, 2:]
+        + a[:-2, 1:-1] + a[2:, 1:-1]
+    )
+    return {"B": out.reshape(-1).astype(np.float32)}
+
+
+JACOBI2D = register(
+    Benchmark(
+        name="jacobi2d",
+        description="One 5-point Jacobi sweep with a Dirichlet frame",
+        specs=(JACOBI2D_K,),
+        make_inputs=make_inputs,
+        reference=reference,
+        sizes=(32, 64, 128, 256, 512),
+        param_env=lambda n: {"N": n},
+        output_names=("B",),
+        tags=("stencil", "memory-bound"),
+    )
+)

@@ -73,5 +73,6 @@ MATVEC2D = register(
         sizes=(32, 64, 128, 256, 512),
         param_env=lambda n: {"N": n, "NN": n * n},
         output_names=("y",),
+        tags=("memory-bound",),
     )
 )

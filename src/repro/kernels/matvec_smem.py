@@ -63,6 +63,16 @@ MATVEC_SMEM_K = dsl.kernel(
 )
 
 
+def tuning_space():
+    """The Table III space with TC restricted to tile multiples (the
+    cooperative-staging constraint)."""
+    from repro.autotune.spec import default_tuning_spec
+
+    return default_tuning_spec().restrict(
+        "TC", tuple(range(TILE, 1025, TILE))
+    )
+
+
 def make_inputs(n: int, rng: np.random.Generator) -> dict:
     if n % TILE:
         raise ValueError(f"matvec_smem requires N % {TILE} == 0, got {n}")
@@ -92,5 +102,8 @@ MATVEC_SMEM = register(
         sizes=(128, 256, 384, 512, 640),
         param_env=lambda n: {"N": n},
         output_names=("y",),
+        tags=("memory-bound",),
+        tuning_space=tuning_space,
+        emulation_launch=lambda n: (TILE, n // TILE),
     )
 )

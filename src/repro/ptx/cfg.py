@@ -71,6 +71,11 @@ class CFG:
     def __init__(self, kernel_name: str):
         self.kernel_name = kernel_name
         self.blocks: dict[str, BasicBlock] = {}
+        self.block_of_label: dict[str, str] = {}
+        """Label name -> owning block name.  Consecutive labels collapse
+        into one block, so a branch target may be an *alias* of the block
+        that carries the instructions; executors resolve through
+        :meth:`resolve_label`."""
         self.graph = nx.DiGraph()
         self.graph.add_node(ENTRY)
         self.graph.add_node(EXIT)
@@ -98,6 +103,12 @@ class CFG:
         if len(succs) != 1:
             raise ValueError("CFG entry must have exactly one successor")
         return succs[0]
+
+    def resolve_label(self, label: str) -> str:
+        """The block a branch label lands in (labels collapsed into
+        another block resolve to that block; block names map to
+        themselves)."""
+        return self.block_of_label.get(label, label)
 
     def successors(self, name: str) -> list[str]:
         return [s for s in self.graph.successors(name) if s != EXIT]
@@ -296,6 +307,7 @@ def build_cfg(kernel: KernelIR) -> CFG:
 
     for blk in blocks:
         cfg.add_block(blk)
+    cfg.block_of_label.update(block_of_label)
     cfg.add_edge(ENTRY, blocks[0].name)
 
     for i, blk in enumerate(blocks):

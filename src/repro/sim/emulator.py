@@ -305,8 +305,9 @@ class _KernelRun:
                             break
                         continue
                     break
-                # branch terminator
-                target = term.branch_target
+                # branch terminator (targets may be label aliases of a
+                # collapsed block -- resolve through the CFG)
+                target = self.cfg.resolve_label(term.branch_target)
                 fall = self._next_of[block]
                 if term.pred is None:
                     block = target
@@ -328,9 +329,15 @@ class _KernelRun:
                     ipd = self.ipdom.get(block, EXIT)
                     if ipd != EXIT and ipd != reconv:
                         stack.append((ipd, mask.copy(), reconv))
-                    if fall is not None:
+                    # an arm that starts AT the reconvergence point has no
+                    # work of its own: its lanes wait there for the other
+                    # arm (pushing it would execute the join block early,
+                    # with a partial mask -- doubling its instructions and
+                    # any bar.sync for the divergent warp)
+                    if fall is not None and fall != ipd:
                         stack.append((fall, ntaken, ipd))
-                    stack.append((target, taken, ipd))
+                    if target != ipd:
+                        stack.append((target, taken, ipd))
                     break
                 if block == reconv or block == EXIT:
                     break

@@ -1,0 +1,37 @@
+"""The workload-corpus subsystem.
+
+``repro.suite`` turns the tagged benchmark registry into a drivable
+corpus: :mod:`~repro.suite.corpus` selects members (by tag and/or name)
+and derives each member's evaluation space and input sizes from its own
+declared tuning space, and :mod:`~repro.suite.evaluate` measures two
+cross-kernel qualities through the shared
+:class:`~repro.engine.engine.SweepEngine` --
+
+- **model accuracy**: how well the paper's static Eq. 6 cost and static
+  instruction mixes predict the simulated ground truth, per kernel;
+- **autotuning quality**: what the static module's pruned search gives
+  up against the best exhaustively-searched configuration, per kernel
+  per GPU.
+
+The ``suite`` experiment (``repro-experiments suite``) renders both as
+cross-kernel tables; ``examples/suite_tour.py`` drives the same API by
+tag.
+"""
+
+from repro.suite.corpus import (
+    corpus_members,
+    corpus_sizes,
+    corpus_space,
+)
+from repro.suite.evaluate import (
+    accuracy_row,
+    quality_row,
+)
+
+__all__ = [
+    "corpus_members",
+    "corpus_sizes",
+    "corpus_space",
+    "accuracy_row",
+    "quality_row",
+]

@@ -1,0 +1,72 @@
+"""Corpus selection and per-member evaluation spaces/sizes.
+
+A corpus member's *evaluation space* starts from the space the benchmark
+itself declares (:meth:`~repro.kernels.base.Benchmark.default_space`) so
+structural constraints (tile-multiple thread counts, pinned ``UIF``)
+are honoured.  The reduced (default) evaluation keeps the full ``TC``
+axis -- the subject of every static-pruning claim -- and trims the
+orthogonal axes, mirroring
+:func:`repro.experiments.common.reduced_space` but per benchmark.
+"""
+
+from __future__ import annotations
+
+from repro.autotune.space import Parameter, ParameterSpace
+from repro.kernels import get_benchmark, list_benchmarks
+from repro.kernels.base import Benchmark
+
+
+def corpus_members(tags=None, kernels=None) -> list[Benchmark]:
+    """Select corpus members, sorted by name.
+
+    ``tags`` (iterable of tag names) selects the union of the tags'
+    subsets; ``kernels`` (iterable of benchmark names) restricts to
+    those members.  Both ``None`` selects the whole registry.
+    """
+    members = {b.name: b for b in list_benchmarks()}
+    if tags:
+        chosen: dict[str, Benchmark] = {}
+        for tag in tags:
+            for b in list_benchmarks(tag=tag):
+                chosen[b.name] = b
+        members = chosen
+    if kernels:
+        wanted = {get_benchmark(k).name for k in kernels}
+        members = {n: b for n, b in members.items() if n in wanted}
+    return sorted(members.values(), key=lambda b: b.name)
+
+
+def corpus_space(benchmark: Benchmark, full: bool = False) -> ParameterSpace:
+    """The evaluation space for one member.
+
+    ``full`` uses the member's declared space verbatim.  Otherwise the
+    ``TC`` axis is kept whole (static pruning must stay observable) and
+    each other axis is trimmed to two spread values — its first and its
+    median, mirroring the ``reduced_space`` picks (``PL`` to one) —
+    which preserves every thread-count effect while keeping an
+    11-member suite sweep seconds-scale.
+    """
+    space = benchmark.default_space()
+    if full:
+        return space
+    params = []
+    for p in space.parameters:
+        if p.name == "PL":
+            params.append(Parameter(p.name, (p.values[0],)))
+        elif p.name in ("TC", "CFLAGS") or len(p.values) <= 2:
+            params.append(p)
+        else:
+            lo = p.values[0]
+            mid = p.values[len(p.values) // 2]
+            params.append(
+                Parameter(p.name, (lo, mid) if lo != mid else (lo,))
+            )
+    return ParameterSpace(params)
+
+
+def corpus_sizes(benchmark: Benchmark, full: bool = False) -> tuple:
+    """Input sizes for one member: all five when ``full``, else the
+    smallest and largest (the intensity/occupancy extremes)."""
+    if full:
+        return tuple(benchmark.sizes)
+    return (benchmark.sizes[0], benchmark.sizes[-1])

@@ -1,0 +1,171 @@
+"""Cross-kernel evaluation: model accuracy and autotuning quality.
+
+Two row builders, one per table of the ``suite`` experiment.  Both route
+every measurement through the caller's engine (the runner's shared
+:class:`~repro.engine.engine.SweepEngine`) so an 11-member suite pass is
+sharded and cache-served exactly like the paper experiments.
+"""
+
+from __future__ import annotations
+
+from repro.arch.specs import GPUSpec
+from repro.arch.throughput import PipeClass
+from repro.autotune.measure import Measurer
+from repro.autotune.space import ParameterSpace
+from repro.autotune.tuner import Autotuner
+from repro.codegen.compiler import CompileOptions, compile_module
+from repro.core.instruction_mix import static_mix_module
+from repro.core.timing_model import Eq6Model, profile_mae
+from repro.kernels.base import Benchmark
+from repro.sim.counting import exact_counts
+from repro.sim.timing import LaunchConfig
+
+BASELINE_TC = 128
+"""The Table VI dynamic-baseline thread count (shared with
+``table6_mix_errors``)."""
+
+MIX_CLASSES = (PipeClass.FLOPS, PipeClass.MEM, PipeClass.CTRL)
+
+
+def baseline_launch(module, env) -> LaunchConfig:
+    """The dynamic-mix baseline: TC=128 with a grid sized to the work.
+
+    Launching far more threads than parallel-loop iterations would fill
+    the dynamic counts with idle-thread preambles and say nothing about
+    the kernel; a practitioner sizes the grid to ``ceil(M / TC)``
+    (capped at the tuning space's maximum of 192 blocks).  This is the
+    Table VI convention; ``table6_mix_errors`` and the suite's
+    ``accuracy_row`` share it through here.
+    """
+    from repro.codegen.ast_nodes import evaluate_expr
+
+    extent = 0
+    for ck in module:
+        if ck.parallel_extent is not None:
+            extent = max(extent, int(evaluate_expr(ck.parallel_extent, env)))
+    bc = max(1, min(192, -(-extent // BASELINE_TC))) if extent else 1
+    return LaunchConfig(tc=BASELINE_TC, bc=bc)
+
+
+def pipe_fractions(by_pipe: dict) -> dict:
+    """Per-pipe fractions of the non-register instruction total."""
+    tot = sum(v for k, v in by_pipe.items() if k is not PipeClass.REG)
+    tot = max(tot, 1e-12)
+    return {k: v / tot for k, v in by_pipe.items() if k is not PipeClass.REG}
+
+
+def mix_error_by_class(module, param_env, sizes) -> tuple[dict, float]:
+    """Static-vs-dynamic mix error per pipe class, plus the intensity.
+
+    For each input size, compares the static analyzer's mix fractions
+    against the exact dynamic counts at the baseline launch and
+    accumulates the squared relative error per class (the Table VI
+    metric).  Returns ``({FLOPS: e, MEM: e, CTRL: e}, intensity)`` with
+    the intensity taken from the largest size's static mix.
+    """
+    errs = {p: 0.0 for p in MIX_CLASSES}
+    intensity = 0.0
+    for n in sizes:
+        env = param_env(n)
+        smix = static_mix_module(module, env)
+        sfrac = pipe_fractions(smix.by_pipe())
+        launch = baseline_launch(module, env)
+        dyn_pipe = {p: 0.0 for p in PipeClass}
+        for ck in module:
+            dc = exact_counts(ck, env, launch.tc, launch.bc)
+            for p, v in dc.by_pipe().items():
+                dyn_pipe[p] += v
+        dfrac = pipe_fractions(dyn_pipe)
+        for p in errs:
+            d = max(dfrac[p], 1e-12)
+            errs[p] += ((sfrac[p] - d) / d) ** 2
+        intensity = smix.intensity
+    return errs, intensity
+
+
+def accuracy_row(
+    benchmark: Benchmark,
+    gpu: GPUSpec,
+    space: ParameterSpace,
+    sizes,
+    engine=None,
+) -> dict:
+    """How well the static models predict one member on one GPU.
+
+    ``time_mae``: mean absolute error of the Eq. 6 static cost against
+    the measured sweep (both min-max normalized, sorted profiles -- the
+    Fig. 5 metric, here over the member's own evaluation space).
+    ``mix_err``: total squared relative error of the static instruction-
+    mix fractions against the exact dynamic mix, summed over the three
+    pipe classes and the input sizes (the Table VI metric collapsed to
+    one number).  ``intensity``: the static computational intensity the
+    Sec. III-C rule thresholds at 4.0.
+    """
+    tuner = Autotuner(benchmark, gpu, space=space)
+    results = tuner.sweep(sizes=sizes, engine=engine)
+
+    eq6 = Eq6Model.for_gpu(gpu)
+    measurer = Measurer(benchmark, gpu)
+    mix_cache: dict = {}
+    predicted, observed = [], []
+    for m in results.measurements:
+        if not m.launchable:
+            continue
+        key = (m.config["UIF"], m.config["CFLAGS"], m.config["PL"], m.size)
+        if key not in mix_cache:
+            module = measurer.module_for(m.config)
+            mix = static_mix_module(module, benchmark.param_env(m.size))
+            mix_cache[key] = eq6.weighted_cost(mix)
+        predicted.append(mix_cache[key])
+        observed.append(m.seconds)
+    time_mae = profile_mae(predicted, observed)
+
+    module = compile_module(
+        benchmark.name, list(benchmark.specs), CompileOptions(gpu=gpu)
+    )
+    errs, intensity = mix_error_by_class(module, benchmark.param_env, sizes)
+    mix_err = sum(errs.values())
+    return {
+        "kernel": benchmark.name,
+        "arch": gpu.name,
+        "variants": len(observed),
+        "time_mae": time_mae,
+        "mix_err": mix_err,
+        "intensity": intensity,
+    }
+
+
+def quality_row(
+    benchmark: Benchmark,
+    gpu: GPUSpec,
+    space: ParameterSpace,
+    size: int,
+    engine=None,
+) -> dict:
+    """What the static choice gives up against the best-searched config.
+
+    Tunes one member at one size three ways through the shared engine --
+    exhaustive (the searched optimum), the paper's static module, and
+    static + the intensity rule -- and reports each pruned search's
+    best time relative to the optimum plus the fraction of the space it
+    removed.
+    """
+    tuner = Autotuner(benchmark, gpu, space=space)
+    exhaustive = tuner.tune(size=size, search="exhaustive", engine=engine)
+    t_opt = exhaustive.best_seconds
+    row = {
+        "kernel": benchmark.name,
+        "arch": gpu.name,
+        "size": size,
+        "best_seconds": t_opt,
+        "best_tc": exhaustive.best_config["TC"],
+    }
+    for label, use_rule in (("static", False), ("rb", True)):
+        out = tuner.tune(size=size, search="static", use_rule=use_rule,
+                         engine=engine)
+        row[f"{label}_quality"] = (
+            out.best_seconds / t_opt if t_opt else 1.0
+        )
+        row[f"{label}_reduction"] = out.search.space_reduction
+        row[f"{label}_tc"] = out.best_config["TC"]
+    return row

@@ -26,7 +26,7 @@ class TestRegistry:
 
     def test_unknown_benchmark(self):
         with pytest.raises(KeyError, match="unknown benchmark"):
-            get_benchmark("gemm")
+            get_benchmark("trmm")
 
     def test_duplicate_registration_rejected(self):
         with pytest.raises(ValueError, match="duplicate"):
