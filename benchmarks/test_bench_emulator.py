@@ -1,0 +1,89 @@
+"""Emulator bench: corpus-wide scalar vs vectorized emulation wall-clock.
+
+Emulates every corpus member at suite scale -- a size whose parallel
+extent fills the launch, under the member's structural constraints -- on
+both execution paths, asserts they agree bit for bit, and requires the
+vectorized grid-level path to be >= 5x faster over the whole corpus (the
+ISSUE 5 acceptance bar).  The timed pass is the vectorized one, so the
+benchmark JSON tracks the fast path's regression history; the scalar
+reference pass is timed once for the speedup ratio.
+"""
+
+import time
+
+from repro.arch import K20
+from repro.codegen.compiler import CompileOptions, compile_module
+from repro.kernels import get_benchmark
+from repro.sim.emulator import run_benchmark_emulated
+from repro.util.rng import rng_for
+
+SUITE_CASES = {
+    # member: (size, tc, bc) -- extents fill the grid, constraints hold
+    # (dot needs N % (TC*BC) == 0, matvec_smem TC == tile == 128)
+    "atax": (256, 128, 2),
+    "bicg": (256, 128, 2),
+    "dot": (1024, 128, 2),
+    "ex14fj": (16, 128, 8),
+    "gemm": (32, 128, 8),
+    "gemver": (256, 128, 2),
+    "gesummv": (256, 128, 2),
+    "jacobi2d": (64, 128, 8),
+    "matvec2d": (64, 128, 8),
+    "matvec_smem": (256, 128, 2),
+    "mvt": (256, 128, 2),
+}
+
+
+def _compile_corpus():
+    cases = []
+    for name, (n, tc, bc) in sorted(SUITE_CASES.items()):
+        bm = get_benchmark(name)
+        inputs = bm.make_inputs(n, rng_for("bench", "emulator", name, n))
+        mod = compile_module(name, list(bm.specs), CompileOptions(gpu=K20))
+        cases.append((name, mod, inputs, tc, bc))
+    return cases
+
+
+def _emulate_corpus(cases, mode):
+    out = {}
+    for name, mod, inputs, tc, bc in cases:
+        outs, res = run_benchmark_emulated(mod, inputs, tc=tc, bc=bc,
+                                           mode=mode)
+        out[name] = (outs, res)
+    return out
+
+
+def test_bench_vectorized_corpus_emulation(benchmark):
+    cases = _compile_corpus()
+
+    t0 = time.perf_counter()
+    scalar = _emulate_corpus(cases, "scalar")
+    scalar_t = time.perf_counter() - t0
+
+    vector = benchmark.pedantic(
+        _emulate_corpus, args=(cases, "vector"), rounds=3, iterations=1,
+    )
+
+    # equivalence at suite scale: bit-identical memory and counters
+    for name in scalar:
+        outs_s, res_s = scalar[name]
+        outs_v, res_v = vector[name]
+        assert res_v.profile.mode == "grid", name
+        assert res_s == res_v, name
+        for arr in outs_s:
+            assert outs_s[arr].tobytes() == outs_v[arr].tobytes(), (
+                f"{name}:{arr}"
+            )
+
+    vector_t = benchmark.stats.stats.mean
+    speedup = scalar_t / vector_t
+    widths = {
+        name: round(res.profile.mean_stack_width, 1)
+        for name, (_, res) in vector.items()
+    }
+    print(f"\nscalar {scalar_t:.2f}s -> vectorized {vector_t:.2f}s "
+          f"({speedup:.1f}x, stack widths {widths})")
+    assert speedup >= 5.0, (
+        f"vectorized corpus emulation only {speedup:.1f}x faster "
+        f"(scalar {scalar_t:.2f}s, vectorized {vector_t:.2f}s)"
+    )

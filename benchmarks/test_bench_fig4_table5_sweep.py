@@ -6,7 +6,6 @@ Reduced configuration: one architecture per run (Kepler), the
 ``repro-experiments --full fig4 table5`` for the paper-size sweep.
 """
 
-import numpy as np
 
 from repro.experiments import fig4_thread_counts, table5_statistics
 

@@ -1,7 +1,6 @@
 """Fig. 6 bench: search-space improvement of the static (and rule-based)
 search module over exhaustive autotuning, with solution quality."""
 
-import pytest
 
 from repro.experiments import fig6_search_improvement
 

@@ -14,7 +14,7 @@ published hardware values for those parts.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, fields
+from dataclasses import dataclass, fields
 
 
 @dataclass(frozen=True)

@@ -22,7 +22,6 @@ from repro.sim.timing import (
     DEFAULT_PARAMS,
     LaunchConfig,
     ModelParams,
-    TimingModel,
     measure_benchmark,
 )
 

@@ -8,7 +8,6 @@ from repro.arch.specs import GPUSpec
 from repro.autotune.measure import Measurer
 from repro.autotune.results import TuningResults
 from repro.autotune.search import (
-    ExhaustiveSearch,
     Search,
     SearchResult,
     StaticSearch,

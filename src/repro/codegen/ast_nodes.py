@@ -18,8 +18,8 @@ Design constraints (checked by :func:`KernelSpec.validate`):
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field, replace
-from typing import Iterable, Sequence, Union
+from dataclasses import dataclass, replace
+from typing import Iterable
 
 from repro.ptx.isa import DType
 
@@ -568,26 +568,26 @@ def evaluate_expr(e: Expr, env: dict[str, float]) -> float:
             raise KeyError(f"unbound variable {e.name!r} in expression")
         return env[e.name]
     if isinstance(e, BinOp):
-        l = evaluate_expr(e.left, env)
+        lv = evaluate_expr(e.left, env)
         r = evaluate_expr(e.right, env)
         if e.op == "+":
-            return l + r
+            return lv + r
         if e.op == "-":
-            return l - r
+            return lv - r
         if e.op == "*":
-            return l * r
+            return lv * r
         if e.op == "/":
             if e.dtype.is_float:
-                return l / r
-            return int(l / r) if r != 0 else 0
+                return lv / r
+            return int(lv / r) if r != 0 else 0
         if e.op == "//":
-            return int(l) // int(r)
+            return int(lv) // int(r)
         if e.op == "%":
-            return int(l) % int(r)
+            return int(lv) % int(r)
         if e.op == "min":
-            return min(l, r)
+            return min(lv, r)
         if e.op == "max":
-            return max(l, r)
+            return max(lv, r)
     if isinstance(e, UnaryOp):
         v = evaluate_expr(e.operand, env)
         return abs(v) if e.op == "abs" else -v
@@ -595,16 +595,16 @@ def evaluate_expr(e: Expr, env: dict[str, float]) -> float:
         v = evaluate_expr(e.operand, env)
         return float(v) if e.to.is_float else int(v)
     if isinstance(e, Cmp):
-        l = evaluate_expr(e.left, env)
+        lv = evaluate_expr(e.left, env)
         r = evaluate_expr(e.right, env)
         return {
-            "lt": l < r, "le": l <= r, "gt": l > r,
-            "ge": l >= r, "eq": l == r, "ne": l != r,
+            "lt": lv < r, "le": lv <= r, "gt": lv > r,
+            "ge": lv >= r, "eq": lv == r, "ne": lv != r,
         }[e.op]
     if isinstance(e, BoolOp):
-        l = evaluate_expr(e.left, env)
+        lv = evaluate_expr(e.left, env)
         r = evaluate_expr(e.right, env)
-        return (l and r) if e.op == "and" else (l or r)
+        return (lv and r) if e.op == "and" else (lv or r)
     if isinstance(e, NotOp):
         return not evaluate_expr(e.operand, env)
     if isinstance(e, Call):
@@ -638,26 +638,26 @@ def evaluate_expr_numpy(e: Expr, env: dict):
             raise KeyError(f"unbound variable {e.name!r} in expression")
         return env[e.name]
     if isinstance(e, BinOp):
-        l = evaluate_expr_numpy(e.left, env)
+        lv = evaluate_expr_numpy(e.left, env)
         r = evaluate_expr_numpy(e.right, env)
         if e.op == "+":
-            return l + r
+            return lv + r
         if e.op == "-":
-            return l - r
+            return lv - r
         if e.op == "*":
-            return l * r
+            return lv * r
         if e.op == "/":
             if e.dtype.is_float:
-                return l / r
-            return np.asarray(l) // np.asarray(r)
+                return lv / r
+            return np.asarray(lv) // np.asarray(r)
         if e.op == "//":
-            return np.asarray(l) // np.asarray(r)
+            return np.asarray(lv) // np.asarray(r)
         if e.op == "%":
-            return np.asarray(l) % np.asarray(r)
+            return np.asarray(lv) % np.asarray(r)
         if e.op == "min":
-            return np.minimum(l, r)
+            return np.minimum(lv, r)
         if e.op == "max":
-            return np.maximum(l, r)
+            return np.maximum(lv, r)
     if isinstance(e, UnaryOp):
         v = evaluate_expr_numpy(e.operand, env)
         return np.abs(v) if e.op == "abs" else -v
@@ -665,16 +665,16 @@ def evaluate_expr_numpy(e: Expr, env: dict):
         v = evaluate_expr_numpy(e.operand, env)
         return v.astype(float) if e.to.is_float else np.asarray(v).astype(np.int64)
     if isinstance(e, Cmp):
-        l = evaluate_expr_numpy(e.left, env)
+        lv = evaluate_expr_numpy(e.left, env)
         r = evaluate_expr_numpy(e.right, env)
         return {
-            "lt": l < r, "le": l <= r, "gt": l > r,
-            "ge": l >= r, "eq": l == r, "ne": l != r,
+            "lt": lv < r, "le": lv <= r, "gt": lv > r,
+            "ge": lv >= r, "eq": lv == r, "ne": lv != r,
         }[e.op]
     if isinstance(e, BoolOp):
-        l = evaluate_expr_numpy(e.left, env)
+        lv = evaluate_expr_numpy(e.left, env)
         r = evaluate_expr_numpy(e.right, env)
-        return (l & r) if e.op == "and" else (l | r)
+        return (lv & r) if e.op == "and" else (lv | r)
     if isinstance(e, NotOp):
         return ~evaluate_expr_numpy(e.operand, env)
     if isinstance(e, Call):

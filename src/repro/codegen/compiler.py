@@ -16,11 +16,11 @@ static analyzer step extracts:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass
 
 from repro.arch.specs import GPUSpec
 from repro.codegen.ast_nodes import KernelSpec
-from repro.codegen.lowering import LoweredKernel, lower_kernel
+from repro.codegen.lowering import lower_kernel
 from repro.codegen.regalloc import allocate_registers
 from repro.codegen.regions import Region
 from repro.codegen.transforms.unroll import unroll_innermost

@@ -22,7 +22,7 @@ Instruction-selection details that matter to the instruction mix:
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.codegen.ast_nodes import (
     ArrayParam,
@@ -41,7 +41,6 @@ from repro.codegen.ast_nodes import (
     KernelSpec,
     Load,
     NotOp,
-    ScalarParam,
     Stmt,
     Store,
     Sync,
@@ -177,37 +176,37 @@ def index_stride(e: Expr, var: str):
     if isinstance(e, Cast):
         return index_stride(e.operand, var)
     if isinstance(e, BinOp):
-        l = index_stride(e.left, var)
+        lv = index_stride(e.left, var)
         r = index_stride(e.right, var)
-        if l is None or r is None:
+        if lv is None or r is None:
             return None
         if e.op == "+":
-            return l + r
+            return lv + r
         if e.op == "-":
-            return l - r
+            return lv - r
         if e.op == "*":
-            if l == 0 and isinstance(e.left, IntConst):
+            if lv == 0 and isinstance(e.left, IntConst):
                 return e.left.value * r
             if r == 0 and isinstance(e.right, IntConst):
-                return l * e.right.value
-            if l == 0 and r == 0:
+                return lv * e.right.value
+            if lv == 0 and r == 0:
                 return 0
             return None
         if e.op in ("//", "/"):
             if r == 0 and isinstance(e.right, IntConst) and e.right.value:
-                return l / e.right.value
+                return lv / e.right.value
             if r == 0:
                 # division by a lane-uniform parameter: the quotient changes
                 # once every C lanes; domain sizes are >= warp-width in our
                 # kernels, so treat it as effectively uniform
-                return l / 64.0 if l is not None else None
-            return 0 if (l == 0 and r == 0) else None
+                return lv / 64.0 if lv is not None else None
+            return 0 if (lv == 0 and r == 0) else None
         if e.op == "%":
             if r == 0:
-                return l  # locally contiguous, wraps every C elements
-            return 0 if (l == 0 and r == 0) else None
+                return lv  # locally contiguous, wraps every C elements
+            return 0 if (lv == 0 and r == 0) else None
         if e.op in ("min", "max"):
-            return 0 if (l == 0 and r == 0) else None
+            return 0 if (lv == 0 and r == 0) else None
     if isinstance(e, UnaryOp):
         s = index_stride(e.operand, var)
         if s is None:
@@ -303,11 +302,11 @@ def lower_expr(ctx: _Ctx, e: Expr, want: DType | None = None):
     if isinstance(e, Cmp):
         return _lower_cmp(ctx, e)
     if isinstance(e, BoolOp):
-        l = lower_expr(ctx, e.left)
+        lv = lower_expr(ctx, e.left)
         r = lower_expr(ctx, e.right)
         dst = ctx.fresh(DType.PRED)
         op = Opcode.AND if e.op == "and" else Opcode.OR
-        ctx.emit(Instruction(op, dtype=DType.PRED, dst=dst, srcs=(l, r)))
+        ctx.emit(Instruction(op, dtype=DType.PRED, dst=dst, srcs=(lv, r)))
         return dst
     if isinstance(e, NotOp):
         src = lower_expr(ctx, e.operand)
@@ -360,44 +359,44 @@ def _lower_binop(ctx: _Ctx, e: BinOp):
     if e.op == "/":
         return _lower_div(ctx, e)
     if e.op == "//":
-        l = _coerce(ctx, lower_expr(ctx, e.left), dtype)
+        lv = _coerce(ctx, lower_expr(ctx, e.left), dtype)
         r = _coerce(ctx, lower_expr(ctx, e.right), dtype)
         dst = ctx.fresh(dtype)
-        ctx.emit(Instruction(Opcode.DIV, dtype=dtype, dst=dst, srcs=(l, r)))
+        ctx.emit(Instruction(Opcode.DIV, dtype=dtype, dst=dst, srcs=(lv, r)))
         return dst
     if e.op == "%":
-        l = _coerce(ctx, lower_expr(ctx, e.left), dtype)
+        lv = _coerce(ctx, lower_expr(ctx, e.left), dtype)
         r = _coerce(ctx, lower_expr(ctx, e.right), dtype)
         q = ctx.fresh(dtype)
-        ctx.emit(Instruction(Opcode.DIV, dtype=dtype, dst=q, srcs=(l, r)))
+        ctx.emit(Instruction(Opcode.DIV, dtype=dtype, dst=q, srcs=(lv, r)))
         t = ctx.fresh(dtype)
         ctx.emit(Instruction(Opcode.MUL, dtype=dtype, dst=t, srcs=(q, r)))
         dst = ctx.fresh(dtype)
-        ctx.emit(Instruction(Opcode.SUB, dtype=dtype, dst=dst, srcs=(l, t)))
+        ctx.emit(Instruction(Opcode.SUB, dtype=dtype, dst=dst, srcs=(lv, t)))
         return dst
 
     op = _ARITH_OPS[e.op]
-    l = _coerce(ctx, lower_expr(ctx, e.left), dtype)
+    lv = _coerce(ctx, lower_expr(ctx, e.left), dtype)
     r = _coerce(ctx, lower_expr(ctx, e.right), dtype)
     dst = ctx.fresh(dtype)
-    ctx.emit(Instruction(op, dtype=dtype, dst=dst, srcs=(l, r)))
+    ctx.emit(Instruction(op, dtype=dtype, dst=dst, srcs=(lv, r)))
     return dst
 
 
 def _lower_div(ctx: _Ctx, e: BinOp):
     dtype = e.dtype
-    l = _coerce(ctx, lower_expr(ctx, e.left), dtype)
+    lv = _coerce(ctx, lower_expr(ctx, e.left), dtype)
     r = _coerce(ctx, lower_expr(ctx, e.right), dtype)
     if not dtype.is_float:
         dst = ctx.fresh(dtype)
-        ctx.emit(Instruction(Opcode.DIV, dtype=dtype, dst=dst, srcs=(l, r)))
+        ctx.emit(Instruction(Opcode.DIV, dtype=dtype, dst=dst, srcs=(lv, r)))
         return dst
     if ctx.fast_math:
         # a/b -> a * rcp(b)
         rcp = ctx.fresh(dtype)
         ctx.emit(Instruction(Opcode.RCP, dtype=dtype, dst=rcp, srcs=(r,)))
         dst = ctx.fresh(dtype)
-        ctx.emit(Instruction(Opcode.MUL, dtype=dtype, dst=dst, srcs=(l, rcp)))
+        ctx.emit(Instruction(Opcode.MUL, dtype=dtype, dst=dst, srcs=(lv, rcp)))
         return dst
     # precise: reciprocal + two Newton refinement steps + final fixup
     rcp = ctx.fresh(dtype)
@@ -410,11 +409,11 @@ def _lower_div(ctx: _Ctx, e: BinOp):
     rcp2 = ctx.fresh(dtype)
     ctx.emit(Instruction(Opcode.FMA, dtype=dtype, dst=rcp2, srcs=(rcp, err, rcp)))
     q = ctx.fresh(dtype)
-    ctx.emit(Instruction(Opcode.MUL, dtype=dtype, dst=q, srcs=(l, rcp2)))
+    ctx.emit(Instruction(Opcode.MUL, dtype=dtype, dst=q, srcs=(lv, rcp2)))
     rem = ctx.fresh(dtype)
     negq = ctx.fresh(dtype)
     ctx.emit(Instruction(Opcode.NEG, dtype=dtype, dst=negq, srcs=(q,)))
-    ctx.emit(Instruction(Opcode.FMA, dtype=dtype, dst=rem, srcs=(negq, r, l)))
+    ctx.emit(Instruction(Opcode.FMA, dtype=dtype, dst=rem, srcs=(negq, r, lv)))
     dst = ctx.fresh(dtype)
     ctx.emit(Instruction(Opcode.FMA, dtype=dtype, dst=dst, srcs=(rem, rcp2, q)))
     return dst
@@ -492,10 +491,10 @@ def _lower_cmp(ctx: _Ctx, e: Cmp):
         work = DType.F64 if DType.F64 in (lt, rt) else DType.F32
     else:
         work = DType.S64 if DType.S64 in (lt, rt) else DType.S32
-    l = _coerce(ctx, lower_expr(ctx, e.left), work)
+    lv = _coerce(ctx, lower_expr(ctx, e.left), work)
     r = _coerce(ctx, lower_expr(ctx, e.right), work)
     dst = ctx.fresh(DType.PRED)
-    ctx.emit(Instruction(Opcode.SETP, dtype=work, dst=dst, srcs=(l, r),
+    ctx.emit(Instruction(Opcode.SETP, dtype=work, dst=dst, srcs=(lv, r),
                          cmp=_CMP_MAP[e.op]))
     return dst
 

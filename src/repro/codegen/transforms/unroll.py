@@ -23,7 +23,6 @@ from __future__ import annotations
 
 from repro.codegen.ast_nodes import (
     BinOp,
-    Expr,
     For,
     If,
     IntConst,

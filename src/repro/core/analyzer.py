@@ -13,19 +13,12 @@ from dataclasses import dataclass
 
 from repro.arch.specs import GPUSpec
 from repro.codegen.compiler import (
-    CompiledKernel,
     CompiledModule,
     CompileOptions,
     compile_module,
 )
-from repro.core.divergence import DivergenceReport, analyze_divergence
-from repro.core.instruction_mix import (
-    MixReport,
-    raw_static_mix,
-    static_mix,
-    static_mix_module,
-)
-from repro.core.occupancy import OccupancyResult, occupancy
+from repro.core.divergence import analyze_divergence
+from repro.core.instruction_mix import MixReport, static_mix_module
 from repro.core.pipeline import bottleneck_pipeline, pipeline_utilization
 from repro.core.rules import INTENSITY_THRESHOLD, rule_based_threads
 from repro.core.suggest import Suggestion, suggest_for_module

@@ -15,6 +15,14 @@ static estimates can be validated against.
   of *distinct* addresses touched between consecutive uses of the same
   32-byte line -- small distances mean cache-friendly streams.  Collected
   by a lightweight tracing hook on the device memory.
+
+The profiler runs the emulator's *scalar* path by default: reuse distance
+is defined over the load stream, and the canonical stream is the per-warp
+serial order the scalar path issues.  Pass ``mode="vector"`` to profile
+on the fast path instead -- counts and divergence stats are identical
+there by construction, but the line stream follows the stacked
+(instruction-major) issue order.  Whichever path ran is reported from the
+launch's :class:`~repro.sim.emulator.LaunchProfile` on the report.
 """
 
 from __future__ import annotations
@@ -25,7 +33,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.codegen.compiler import CompiledModule
-from repro.sim.emulator import EmulationResult, run_benchmark_emulated
+from repro.sim.emulator import EmulationResult, emulate_kernel
 from repro.sim.memory import DeviceMemory
 
 
@@ -74,9 +82,15 @@ class _TracingMemory(DeviceMemory):
 
     def gather(self, addrs, mask, dtype):
         if mask.any():
-            lines = np.unique(addrs[mask] // self.LINE)
-            for line in lines.tolist():
-                self._touch(int(line))
+            # one trace record per warp, in row order -- a stacked
+            # (n_warps, 32) access traces like n consecutive warp loads
+            for row_a, row_m in zip(np.atleast_2d(addrs),
+                                    np.atleast_2d(mask)):
+                if not row_m.any():
+                    continue
+                lines = np.unique(row_a[row_m] // self.LINE)
+                for line in lines.tolist():
+                    self._touch(int(line))
         return super().gather(addrs, mask, dtype)
 
     def _touch(self, line: int) -> None:
@@ -105,6 +119,10 @@ class DynamicReport:
     divergent_branches: int
     simd_efficiency: float
     memory_distance: MemoryDistanceHistogram
+    emulation_mode: str = "scalar"
+    """Emulator path that produced the profile (``LaunchProfile.mode``)."""
+    emulation_width: float = 1.0
+    """Mean warps retired per dispatch step on that path."""
 
     @property
     def branch_divergence_rate(self) -> float:
@@ -123,6 +141,8 @@ class DynamicReport:
             f"  memory locality score : "
             f"{self.memory_distance.locality_score():.3f} "
             f"({self.memory_distance.cold} cold lines)",
+            f"  emulated on           : {self.emulation_mode} path "
+            f"(stack width {self.emulation_width:.1f})",
         ]
         return "\n".join(lines)
 
@@ -132,10 +152,13 @@ def profile_benchmark(
     inputs: dict,
     tc: int,
     bc: int,
+    mode: str = "scalar",
 ) -> DynamicReport:
-    """Run a benchmark under the tracing emulator and build the report."""
-    from repro.sim.emulator import EmulationResult, emulate_kernel
+    """Run a benchmark under the tracing emulator and build the report.
 
+    ``mode`` defaults to the scalar path so the reuse-distance stream is
+    the canonical per-warp serial order (see the module docstring).
+    """
     memory = _TracingMemory()
     seen: set[str] = set()
     for ck in module:
@@ -145,9 +168,10 @@ def profile_benchmark(
                 seen.add(p.name)
     total = EmulationResult()
     for ck in module:
-        res, _ = emulate_kernel(ck, inputs, tc, bc, memory)
+        res, _ = emulate_kernel(ck, inputs, tc, bc, memory, mode=mode)
         total.merge(res)
 
+    profile = total.profile
     return DynamicReport(
         benchmark=module.name,
         instruction_counts={
@@ -159,4 +183,6 @@ def profile_benchmark(
         divergent_branches=total.divergent_branches,
         simd_efficiency=total.simd_efficiency,
         memory_distance=memory.histogram,
+        emulation_mode=profile.mode if profile else "scalar",
+        emulation_width=profile.mean_stack_width if profile else 1.0,
     )

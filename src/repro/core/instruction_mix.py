@@ -31,7 +31,7 @@ from __future__ import annotations
 from collections import Counter
 from dataclasses import dataclass
 
-from repro.arch.throughput import InstrCategory, PipeClass
+from repro.arch.throughput import PipeClass
 from repro.codegen.compiler import CompiledKernel, CompiledModule
 from repro.codegen.regions import DynamicCounts, evaluate_region_tree
 from repro.codegen.ast_nodes import evaluate_expr

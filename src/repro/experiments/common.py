@@ -11,7 +11,6 @@ module's signature.
 
 from __future__ import annotations
 
-from functools import lru_cache
 
 from repro.arch.specs import ALL_GPUS, GPUSpec, get_gpu
 from repro.autotune.space import Parameter, ParameterSpace
@@ -19,7 +18,7 @@ from repro.autotune.spec import default_tuning_spec
 from repro.autotune.tuner import Autotuner
 from repro.autotune.results import TuningResults
 from repro.engine import CacheStore, StderrProgress, SweepEngine
-from repro.kernels import BENCHMARKS, get_benchmark
+from repro.kernels import get_benchmark
 
 KERNEL_ORDER = ("atax", "bicg", "ex14fj", "matvec2d")
 """Paper presentation order of the Table IV kernels."""

@@ -67,6 +67,7 @@ def run(n: int = 2048, tc: int = 128, bc: int = 4,
     rng = rng_for("fig1")
     rows = []
     base_issues = None
+    emu_mode = "scalar"
     for paths in path_counts:
         spec = build_divergent_kernel(paths)
         ck = compile_kernel(spec, CompileOptions(gpu=K20))
@@ -76,6 +77,8 @@ def run(n: int = 2048, tc: int = 128, bc: int = 4,
         res, _ = emulate_kernel(ck, {"N": n, "x": None, "out": None},
                                 tc=tc, bc=bc, memory=memory)
         static = analyze_divergence(ck)
+        if res.profile is not None:
+            emu_mode = res.profile.mode
         issues = res.total_issues
         if base_issues is None:
             base_issues = issues
@@ -87,7 +90,7 @@ def run(n: int = 2048, tc: int = 128, bc: int = 4,
             "static_divergent": static.divergent_branches,
             "static_efficiency": static.expected_efficiency,
         })
-    return {"n": n, "tc": tc, "bc": bc, "rows": rows}
+    return {"n": n, "tc": tc, "bc": bc, "rows": rows, "emu_mode": emu_mode}
 
 
 def render(result: dict) -> str:
@@ -102,7 +105,8 @@ def render(result: dict) -> str:
         ],
         title=(
             "Fig. 1: branch divergence performance loss "
-            f"(N={result['n']}, TC={result['tc']}, BC={result['bc']})"
+            f"(N={result['n']}, TC={result['tc']}, BC={result['bc']}, "
+            f"emulated on the {result.get('emu_mode', 'scalar')} path)"
         ),
     )
     chart = ascii_bar_chart(

@@ -9,10 +9,6 @@ matVec2D and ex14FJ at the upper ranges.
 
 from __future__ import annotations
 
-USES_SHARED_SWEEP = True
-"""Drawn from the pooled exhaustive sweep: the runner keeps this
-experiment in the coordinating process so measurements are shared."""
-
 import numpy as np
 
 from repro.experiments.common import (
@@ -21,6 +17,10 @@ from repro.experiments.common import (
     resolve_kernels,
 )
 from repro.util.tables import ascii_histogram
+
+USES_SHARED_SWEEP = True
+"""Drawn from the pooled exhaustive sweep: the runner keeps this
+experiment in the coordinating process so measurements are shared."""
 
 _BINS = np.arange(0, 1057, 96)
 

@@ -10,10 +10,6 @@ absolute error, per kernel and architecture.
 
 from __future__ import annotations
 
-USES_SHARED_SWEEP = True
-"""Drawn from the pooled exhaustive sweep: the runner keeps this
-experiment in the coordinating process so measurements are shared."""
-
 import numpy as np
 
 from repro.core.instruction_mix import static_mix_module
@@ -27,6 +23,10 @@ from repro.kernels import get_benchmark
 from repro.autotune.measure import Measurer
 from repro.util.stats import normalize
 from repro.util.tables import ascii_table
+
+USES_SHARED_SWEEP = True
+"""Drawn from the pooled exhaustive sweep: the runner keeps this
+experiment in the coordinating process so measurements are shared."""
 
 
 def run(full: bool = False, archs=None, kernels=None) -> dict:

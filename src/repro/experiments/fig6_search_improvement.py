@@ -20,10 +20,6 @@ shared sweep engine, so a re-run against a warm cache measures nothing.
 
 from __future__ import annotations
 
-USES_SHARED_SWEEP = True
-"""Tunes through the shared engine: the runner keeps this experiment in
-the coordinating process so it reuses the engine pool and cache."""
-
 from repro.autotune.tuner import Autotuner
 from repro.experiments.common import (
     resolve_gpus,
@@ -34,6 +30,10 @@ from repro.experiments.common import (
 )
 from repro.kernels import get_benchmark
 from repro.util.tables import ascii_bar_chart, ascii_table
+
+USES_SHARED_SWEEP = True
+"""Tunes through the shared engine: the runner keeps this experiment in
+the coordinating process so it reuses the engine pool and cache."""
 
 HEURISTICS = ("random", "annealing", "genetic", "simplex")
 """The black-box baselines, run at the static module's budget."""

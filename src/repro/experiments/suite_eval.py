@@ -21,10 +21,6 @@ constraints such as tile-multiple thread counts.
 
 from __future__ import annotations
 
-USES_SHARED_SWEEP = True
-"""Measures through the shared engine: the runner keeps this experiment
-in the coordinating process so it reuses the engine pool and cache."""
-
 from repro.experiments.common import resolve_gpus, shared_engine
 from repro.suite import (
     accuracy_row,
@@ -34,6 +30,10 @@ from repro.suite import (
     quality_row,
 )
 from repro.util.tables import ascii_table
+
+USES_SHARED_SWEEP = True
+"""Measures through the shared engine: the runner keeps this experiment
+in the coordinating process so it reuses the engine pool and cache."""
 
 
 def run(full: bool = False, archs=None, kernels=None, tags=None) -> dict:
@@ -65,11 +65,14 @@ def run(full: bool = False, archs=None, kernels=None, tags=None) -> dict:
 def render(result: dict) -> str:
     corpus = ", ".join(result["members"])
     acc = ascii_table(
-        ["Kernel", "Arch", "Variants", "Time MAE", "Mix err", "Itns"],
+        ["Kernel", "Arch", "Variants", "Time MAE", "Mix err", "Itns",
+         "SIMD eff", "Count err"],
         [[r["kernel"], r["arch"], r["variants"], r["time_mae"],
-          r["mix_err"], r["intensity"]] for r in result["accuracy"]],
+          r["mix_err"], r["intensity"], f"{r['simd_eff']:.3f}",
+          f"{r['count_err']:.2e}"] for r in result["accuracy"]],
         title=("Suite: model accuracy across the corpus "
-               "(Eq. 6 profile MAE / static-vs-dynamic mix error)"),
+               "(Eq. 6 profile MAE / static-vs-dynamic mix error / "
+               "emulator back-validation)"),
     )
     qual = ascii_table(
         ["Kernel", "Arch", "Size", "Best TC", "Static TC",

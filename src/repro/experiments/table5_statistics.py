@@ -9,16 +9,16 @@ architecture generation.
 
 from __future__ import annotations
 
-USES_SHARED_SWEEP = True
-"""Drawn from the pooled exhaustive sweep: the runner keeps this
-experiment in the coordinating process so measurements are shared."""
-
 from repro.experiments.common import (
     exhaustive_sweep,
     resolve_gpus,
     resolve_kernels,
 )
 from repro.util.tables import ascii_table
+
+USES_SHARED_SWEEP = True
+"""Drawn from the pooled exhaustive sweep: the runner keeps this
+experiment in the coordinating process so measurements are shared."""
 
 _FAMILY_SHORT = {"Fermi": "Fer", "Kepler": "Kep", "Maxwell": "Max",
                  "Pascal": "Pas"}

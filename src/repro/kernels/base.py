@@ -14,10 +14,9 @@ Table III defaults.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Sequence
+from dataclasses import dataclass
+from typing import Callable
 
-import numpy as np
 
 TAGS = frozenset({
     "memory-bound",
@@ -138,6 +137,43 @@ class Benchmark:
             tc, bc = self.emulation_launch(n)
             return int(tc), int(bc)
         return DEFAULT_EMU_LAUNCH
+
+    def emulate(
+        self,
+        n: int | None = None,
+        rng=None,
+        launch: tuple[int, int] | None = None,
+        mode: str | None = None,
+        gpu=None,
+    ):
+        """Compile and emulate this benchmark at size ``n``.
+
+        One-call ground truth: builds inputs, compiles every kernel, and
+        runs the full launch sequence under the SIMT emulator at the
+        benchmark's declared emulation-safe launch (or ``launch``).
+        Routed through the vectorized grid-level fast path by default;
+        ``mode="scalar"`` (or ``REPRO_EMU=scalar`` in the environment)
+        selects the per-warp reference path, with identical results.
+
+        Returns ``(outputs, result)`` as
+        :func:`repro.sim.emulator.run_benchmark_emulated`.
+        """
+        from repro.codegen.compiler import CompileOptions, compile_module
+        from repro.sim.emulator import run_benchmark_emulated
+        from repro.util.rng import rng_for
+
+        n = self.smallest_size if n is None else n
+        rng = rng_for("emulate", self.name, n) if rng is None else rng
+        inputs = self.make_inputs(n, rng)
+        if gpu is None:
+            from repro.arch import K20 as gpu  # noqa: N811 - GPU constant
+        module = compile_module(
+            self.name, list(self.specs), CompileOptions(gpu=gpu)
+        )
+        tc, bc = self.emu_launch(n) if launch is None else launch
+        return run_benchmark_emulated(
+            module, inputs, tc=tc, bc=bc, mode=mode
+        )
 
 
 BENCHMARKS: dict[str, Benchmark] = {}

@@ -8,7 +8,7 @@ structure from labels and terminators.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Union
 
 from repro.ptx.isa import CmpOp, DType, MemSpace, Opcode, SRegKind, categorize

@@ -11,7 +11,6 @@ from __future__ import annotations
 from collections import Counter
 from dataclasses import dataclass, field
 
-from repro.arch.throughput import InstrCategory
 from repro.ptx.instruction import BodyItem, Instruction, Label, Reg
 from repro.ptx.isa import DType
 

@@ -24,16 +24,7 @@ The format is a compact PTX dialect that round-trips through
 
 from __future__ import annotations
 
-from repro.ptx.instruction import (
-    Imm,
-    Instruction,
-    Label,
-    LabelRef,
-    MemRef,
-    ParamRef,
-    Reg,
-    SReg,
-)
+from repro.ptx.instruction import Instruction, Label
 from repro.ptx.isa import Opcode
 from repro.ptx.module import KernelIR, PTXModule
 

@@ -14,16 +14,7 @@ The verifier catches codegen bugs early and documents the IR's invariants:
 
 from __future__ import annotations
 
-from repro.ptx.instruction import (
-    Imm,
-    Instruction,
-    Label,
-    LabelRef,
-    MemRef,
-    ParamRef,
-    Reg,
-    SReg,
-)
+from repro.ptx.instruction import Imm, LabelRef, ParamRef, Reg
 from repro.ptx.isa import DType, Opcode, NO_DEST
 from repro.ptx.module import KernelIR
 

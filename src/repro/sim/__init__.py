@@ -19,10 +19,19 @@ Three cooperating models replace the paper's physical GPUs:
 """
 
 from repro.sim.memory import DeviceMemory, DeviceAllocation, MemoryError_
-from repro.sim.emulator import EmulationResult, emulate_kernel, run_benchmark_emulated
+from repro.sim.emulator import (
+    EMU_MODES,
+    EmulationResult,
+    LaunchProfile,
+    emulate_kernel,
+    emulation_mode,
+    run_benchmark_emulated,
+)
+from repro.sim.vector import has_global_atomics, run_stacked
 from repro.sim.counting import (
     exact_counts,
     exact_branch_fraction,
+    validate_against_emulation,
     warp_branch_fraction,
 )
 from repro.sim.occupancy_hw import hw_resident_blocks, hw_occupancy
@@ -40,11 +49,17 @@ __all__ = [
     "DeviceMemory",
     "DeviceAllocation",
     "MemoryError_",
+    "EMU_MODES",
     "EmulationResult",
+    "LaunchProfile",
     "emulate_kernel",
+    "emulation_mode",
     "run_benchmark_emulated",
+    "has_global_atomics",
+    "run_stacked",
     "exact_counts",
     "exact_branch_fraction",
+    "validate_against_emulation",
     "warp_branch_fraction",
     "hw_resident_blocks",
     "hw_occupancy",

@@ -146,6 +146,30 @@ def _combine(at0: DynamicCounts, at1: DynamicCounts,
     )
 
 
+def validate_against_emulation(counts, emulated) -> dict:
+    """Per-category relative deviation of closed-form counts from an
+    emulator ground truth.
+
+    ``counts`` is a :class:`DynamicCounts` (or a summed mapping of
+    category -> count) from :func:`exact_counts`; ``emulated`` an
+    :class:`~repro.sim.emulator.EmulationResult` from the same launch.
+    With the vectorized fast path this comparison is cheap enough to run
+    routinely (the ``suite`` experiment reports its maximum per member),
+    turning the counting model's back-validation from a test-only
+    assertion into a standing output.
+
+    Returns ``{category: |emulated - exact| / max(exact, 1)}`` over the
+    union of categories either side counted.
+    """
+    by_cat = getattr(counts, "by_category", counts)
+    out = {}
+    for cat in set(by_cat) | set(emulated.thread_counts):
+        exact = float(by_cat.get(cat, 0.0))
+        emu = float(emulated.thread_counts.get(cat, 0))
+        out[cat] = abs(emu - exact) / max(exact, 1.0)
+    return out
+
+
 def exact_counts(
     ck: CompiledKernel,
     env: dict,

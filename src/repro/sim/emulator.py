@@ -1,4 +1,4 @@
-"""Warp-level SIMT functional emulator.
+"""Warp-level SIMT functional emulator: dispatch core and scalar path.
 
 Executes compiled kernels exactly as a streaming multiprocessor would at
 warp granularity: 32 lanes in lockstep, per-lane guard predicates, and a
@@ -16,28 +16,38 @@ The emulator serves three purposes:
 3. *divergence measurement*: warp issues with partially-filled masks
    quantify the serialization loss the static divergence analysis predicts.
 
+Two execution paths produce identical results (memory state and every
+instruction counter, bit for bit):
+
+- the **scalar path** in this module runs one warp at a time through the
+  reconvergence stack -- the reference semantics;
+- the **vectorized path** in :mod:`repro.sim.vector` stacks all resident
+  warps of a launch into one ``(n_warps, 32)`` register file and executes
+  each instruction once as a NumPy op over the whole stack, peeling
+  divergent warps onto reconvergence-stack arm entries and re-merging
+  them at the join.
+
+:func:`emulate_kernel` routes through the vectorized path by default;
+``REPRO_EMU=scalar`` (or ``mode="scalar"``) is the escape hatch.  The
+path actually taken, and how wide its dispatch was, is recorded in
+:class:`LaunchProfile` on ``EmulationResult.profile``.
+
 It is a functional simulator, not a timing simulator -- cycle estimates
 come from :mod:`repro.sim.timing`.
 """
 
 from __future__ import annotations
 
+import os
+import time
 from collections import Counter
 from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.arch.throughput import InstrCategory
 from repro.codegen.compiler import CompiledKernel, CompiledModule
 from repro.ptx.cfg import CFG, EXIT, build_cfg
-from repro.ptx.instruction import (
-    Imm,
-    Instruction,
-    MemRef,
-    ParamRef,
-    Reg,
-    SReg,
-)
+from repro.ptx.instruction import Imm, Instruction, ParamRef, Reg, SReg
 from repro.ptx.isa import CmpOp, DType, MemSpace, Opcode, SRegKind
 from repro.sim.memory import DeviceMemory
 
@@ -55,6 +65,65 @@ _NP_DTYPE = {
 
 class EmulationError(RuntimeError):
     """Raised when a kernel misbehaves under emulation."""
+
+
+EMU_MODES = ("vector", "scalar")
+"""Selectable execution paths (``REPRO_EMU`` / the ``mode`` argument)."""
+
+
+def emulation_mode(override: str | None = None) -> str:
+    """Resolve the emulator execution path.
+
+    ``override`` wins when given; otherwise ``$REPRO_EMU``; otherwise the
+    vectorized fast path.
+    """
+    mode = override or os.environ.get("REPRO_EMU") or "vector"
+    if mode not in EMU_MODES:
+        raise ValueError(
+            f"unknown emulator mode {mode!r}; choose one of {EMU_MODES}"
+        )
+    return mode
+
+
+@dataclass(frozen=True)
+class LaunchProfile:
+    """Execution-path diagnostics for one emulated launch.
+
+    Not part of the architectural result (two runs of the same launch on
+    different paths compare equal on :class:`EmulationResult`); this is
+    the meta-record of *how* the emulator retired the launch.
+    """
+
+    mode: str
+    """Path taken: ``grid`` (whole launch stacked) or ``scalar``
+    (per-warp reference path); ``mixed`` after merging results of
+    launches that took different paths."""
+
+    wall_seconds: float
+    """Host wall-clock time spent executing the launch."""
+
+    issue_slots: int
+    """Warp-level instruction issues retired (== ``total_issues``)."""
+
+    dispatch_steps: int
+    """Interpreter dispatch steps that retired them.  The scalar path
+    takes one step per issue; the stacked path retires one issue per
+    resident warp per step."""
+
+    @property
+    def mean_stack_width(self) -> float:
+        """Mean warps retired per dispatch step (1.0 = scalar speed)."""
+        if self.dispatch_steps == 0:
+            return 1.0
+        return self.issue_slots / self.dispatch_steps
+
+    def merged(self, other: "LaunchProfile") -> "LaunchProfile":
+        return LaunchProfile(
+            mode=self.mode if self.mode == other.mode else "mixed",
+            wall_seconds=self.wall_seconds + other.wall_seconds,
+            issue_slots=self.issue_slots + other.issue_slots,
+            dispatch_steps=self.dispatch_steps + other.dispatch_steps,
+        )
 
 
 @dataclass
@@ -81,6 +150,13 @@ class EmulationResult:
 
     total_issues: int = 0
 
+    profile: LaunchProfile | None = field(
+        default=None, compare=False, repr=False
+    )
+    """How the launch was executed (path, width, wall time); diagnostic
+    only -- excluded from equality so scalar and vectorized results of
+    the same launch compare equal."""
+
     @property
     def total_thread_instructions(self) -> int:
         return sum(self.thread_counts.values())
@@ -100,6 +176,10 @@ class EmulationResult:
         self.branch_count += other.branch_count
         self.partial_issues += other.partial_issues
         self.total_issues += other.total_issues
+        if self.profile is not None and other.profile is not None:
+            self.profile = self.profile.merged(other.profile)
+        else:
+            self.profile = self.profile or other.profile
 
 
 def _trunc_div(a: np.ndarray, b: np.ndarray) -> np.ndarray:
@@ -511,6 +591,7 @@ def emulate_kernel(
     tc: int,
     bc: int,
     memory: DeviceMemory | None = None,
+    mode: str | None = None,
 ) -> tuple[EmulationResult, DeviceMemory]:
     """Run one compiled kernel on ``inputs``.
 
@@ -518,6 +599,11 @@ def emulate_kernel(
     read back from the allocations after the run.  Returns the dynamic
     behaviour record and the device memory (for chaining multi-kernel
     benchmarks).
+
+    ``mode`` selects the execution path (:data:`EMU_MODES`); by default
+    the vectorized grid-level path, with ``REPRO_EMU=scalar`` as the
+    environment escape hatch.  Both paths produce identical results; the
+    one actually used is recorded on ``result.profile``.
     """
     if tc <= 0 or bc <= 0:
         raise ValueError("tc and bc must be positive")
@@ -526,8 +612,20 @@ def emulate_kernel(
         for p in ck.ir.params:
             if p.is_pointer:
                 memory.alloc(p.name, np.asarray(inputs[p.name]).copy())
-    run = _KernelRun(ck, inputs, tc, bc, memory)
-    result = run.run()
+    t0 = time.perf_counter()
+    if emulation_mode(mode) == "vector":
+        from repro.sim.vector import run_stacked
+
+        result, path, steps = run_stacked(ck, inputs, tc, bc, memory)
+    else:
+        result = _KernelRun(ck, inputs, tc, bc, memory).run()
+        path, steps = "scalar", result.total_issues
+    result.profile = LaunchProfile(
+        mode=path,
+        wall_seconds=time.perf_counter() - t0,
+        issue_slots=result.total_issues,
+        dispatch_steps=steps,
+    )
     return result, memory
 
 
@@ -536,6 +634,7 @@ def run_benchmark_emulated(
     inputs: dict,
     tc: int,
     bc: int,
+    mode: str | None = None,
 ) -> tuple[dict, EmulationResult]:
     """Emulate all kernels of a benchmark in order on shared device memory.
 
@@ -551,7 +650,7 @@ def run_benchmark_emulated(
                 seen.add(p.name)
     total = EmulationResult()
     for ck in module:
-        res, _ = emulate_kernel(ck, inputs, tc, bc, memory)
+        res, _ = emulate_kernel(ck, inputs, tc, bc, memory, mode=mode)
         total.merge(res)
     outputs = {name: memory.allocation(name).data for name in seen}
     return outputs, total

@@ -1,10 +1,18 @@
 """Device memory for the functional emulator.
 
 A flat 64-bit address space in which each kernel argument array receives an
-aligned allocation.  Loads/stores are vectorized gathers/scatters over
-32-lane address vectors, with bounds and alignment checking -- an
-out-of-bounds lane is a codegen bug and raises immediately with a
-diagnostic, rather than silently corrupting another buffer.
+aligned allocation.  Loads/stores are vectorized gathers/scatters with
+bounds and alignment checking -- an out-of-bounds lane is a codegen bug and
+raises immediately with a diagnostic, rather than silently corrupting
+another buffer.
+
+Access vectors may be one warp (shape ``(32,)``, the scalar emulator path)
+or a whole stack of warps (shape ``(n_warps, 32)``, the vectorized
+grid-level path in :mod:`repro.sim.vector`).  Batching does not change the
+conflict semantics the scalar path defines: lanes are resolved in
+row-major (block, warp, lane) order, which is exactly the order the
+per-warp path issues them in, so same-address stores pick the same winner
+and atomic reductions accumulate in the same order bit for bit.
 """
 
 from __future__ import annotations
@@ -58,6 +66,11 @@ class DeviceMemory:
     def __init__(self) -> None:
         self._allocs: list[DeviceAllocation] = []
         self._next = self.BASE
+        self.last_target: str | None = None
+        """Name of the allocation the most recent access resolved to.
+        The vectorized emulator path uses this to learn, at zero extra
+        lookup cost, which arrays a kernel loads/stores -- the input to
+        its deferred-atomic safety decision."""
 
     def alloc(self, name: str, array: np.ndarray) -> DeviceAllocation:
         """Register ``array`` (1-D) as a device buffer; returns allocation."""
@@ -75,6 +88,22 @@ class DeviceMemory:
             if a.name == name:
                 return a
         raise KeyError(f"no device allocation named {name!r}")
+
+    def allocation_at(self, addr: int) -> DeviceAllocation | None:
+        """The allocation containing ``addr``, or None."""
+        for a in self._allocs:
+            if a.base <= addr < a.end:
+                return a
+        return None
+
+    def snapshot(self) -> dict[str, np.ndarray]:
+        """Copy of every allocation's contents (for speculative runs)."""
+        return {a.name: a.data.copy() for a in self._allocs}
+
+    def restore(self, snap: dict[str, np.ndarray]) -> None:
+        """Restore contents captured by :meth:`snapshot`."""
+        for a in self._allocs:
+            np.copyto(a.data, snap[a.name])
 
     # -- vectorized access -------------------------------------------------
 
@@ -115,43 +144,56 @@ class DeviceMemory:
             raise MemoryError_(
                 f"misaligned {elem_bytes}-byte access into {alloc.name!r}"
             )
+        self.last_target = alloc.name
         return alloc, active
 
     def gather(self, addrs: np.ndarray, mask: np.ndarray,
                dtype: DType) -> np.ndarray:
-        """Load one element per active lane; inactive lanes read 0."""
+        """Load one element per active lane; inactive lanes read 0.
+
+        ``addrs``/``mask`` may be ``(32,)`` (one warp) or ``(n_warps, 32)``
+        (a warp stack); the result has the same shape.
+        """
         np_dt = _NP_DTYPE[dtype]
         out = np.zeros(addrs.shape, dtype=np_dt)
         if not mask.any():
             return out
-        alloc, active = self._locate(addrs, mask, dtype.nbytes)
-        idx = (addrs[active] - alloc.base) // dtype.nbytes
+        flat_addrs = addrs.ravel()
+        alloc, active = self._locate(flat_addrs, mask.ravel(), dtype.nbytes)
+        idx = (flat_addrs[active] - alloc.base) // dtype.nbytes
         view = alloc.data.view(np_dt) if alloc.data.dtype != np_dt else alloc.data
-        out[active] = view[idx]
+        out.reshape(-1)[active] = view[idx]
         return out
 
     def scatter(self, addrs: np.ndarray, mask: np.ndarray,
                 values: np.ndarray, dtype: DType) -> None:
         """Store one element per active lane.
 
-        Lanes targeting the same address are resolved in lane order (the
-        hardware guarantees *some* lane wins; tests avoid relying on which).
+        Lanes targeting the same address are resolved in row-major lane
+        order (the hardware guarantees *some* lane wins; tests avoid
+        relying on which).
         """
         if not mask.any():
             return
         np_dt = _NP_DTYPE[dtype]
-        alloc, active = self._locate(addrs, mask, dtype.nbytes)
-        idx = (addrs[active] - alloc.base) // dtype.nbytes
+        flat_addrs = addrs.ravel()
+        alloc, active = self._locate(flat_addrs, mask.ravel(), dtype.nbytes)
+        idx = (flat_addrs[active] - alloc.base) // dtype.nbytes
         view = alloc.data.view(np_dt) if alloc.data.dtype != np_dt else alloc.data
-        view[idx] = values[active].astype(np_dt)
+        view[idx] = values.ravel()[active].astype(np_dt)
 
     def scatter_add(self, addrs: np.ndarray, mask: np.ndarray,
                     values: np.ndarray, dtype: DType) -> None:
-        """Atomic reduction add: duplicate addresses accumulate correctly."""
+        """Atomic reduction add: duplicate addresses accumulate correctly.
+
+        ``np.add.at`` applies the adds in flattened (row-major) lane
+        order, matching the scalar path's per-warp accumulation order.
+        """
         if not mask.any():
             return
         np_dt = _NP_DTYPE[dtype]
-        alloc, active = self._locate(addrs, mask, dtype.nbytes)
-        idx = (addrs[active] - alloc.base) // dtype.nbytes
+        flat_addrs = addrs.ravel()
+        alloc, active = self._locate(flat_addrs, mask.ravel(), dtype.nbytes)
+        idx = (flat_addrs[active] - alloc.base) // dtype.nbytes
         view = alloc.data.view(np_dt) if alloc.data.dtype != np_dt else alloc.data
-        np.add.at(view, idx, values[active].astype(np_dt))
+        np.add.at(view, idx, values.ravel()[active].astype(np_dt))

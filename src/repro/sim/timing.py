@@ -42,7 +42,7 @@ from repro.arch.specs import GPUSpec
 from repro.arch.throughput import InstrCategory, PipeClass, throughput_for
 from repro.codegen.ast_nodes import evaluate_expr
 from repro.codegen.compiler import CompiledKernel, CompiledModule
-from repro.codegen.regions import DynamicCounts, MemAccess
+from repro.codegen.regions import MemAccess
 from repro.ptx.isa import MemSpace
 from repro.sim.counting import exact_counts
 from repro.sim.occupancy_hw import hw_resident_blocks

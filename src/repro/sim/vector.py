@@ -1,0 +1,529 @@
+"""Vectorized grid-level fast path of the SIMT emulator.
+
+The scalar path in :mod:`repro.sim.emulator` interprets one warp at a
+time: every dynamic instruction costs one trip through the Python
+dispatch loop, so a launch with W resident warps pays W trips per
+instruction.  This module lifts the *same* reconvergence-stack algorithm
+to a stacked register file of shape ``(n_warps, 32)``: while warps sit in
+the same basic block, each instruction executes **once** as a NumPy op
+over the whole stack, and the dispatch cost is amortized over all
+resident warps (the move Prickle/Taichi-style compilers make -- execute
+grids as stacked array operations, not per-lane interpretation).
+
+Divergence is where warps stop being stackable -- and where the
+equivalence argument matters, because divergence counters are a
+paper-facing output.  The stacked executor handles it by *peeling at the
+mask level*: at a conditional branch each warp row classifies itself as
+uniformly-taken, uniformly-not-taken, or divergent.  If every row agrees
+on one successor, the whole stack follows it.  Otherwise the affected
+rows are peeled onto the branch's arm entries -- ``(target, taken_rows)``
+and ``(fall, not_taken_rows)`` pushed on the shared reconvergence stack
+with the branch block's immediate post-dominator as the rejoin point --
+and re-merged at the join, exactly as the scalar path serializes arms
+for one warp.  Rows with an empty mask simply do not enter a block (and
+are not charged warp issues for it), so every per-warp counter comes out
+identical to the scalar path:
+
+- *thread counts* sum the same per-row active-lane masks;
+- *warp issues* increment once per row that entered the block, which is
+  precisely the set of warps the scalar path walks through it;
+- *divergence stats* count rows whose taken/not-taken partition is
+  mixed, the scalar path's per-warp test.
+
+Memory effects are identical too: batched gathers/scatters flatten in
+row-major (block, warp, lane) order, the order the scalar path issues
+them in, so same-address conflicts resolve identically.  The one true
+reordering the stack introduces -- interleaving *different dynamic
+executions* of a global atomic across warps, whose float accumulation
+order is observable in the last bits -- is handled by **deferred atomic
+replay**: the stacked path buffers each ``red``'s operands and applies
+them after the group in exactly the scalar path's order (block, barrier
+segment, warp, program order).  Deferral is speculative but validated:
+the run records which allocations the kernel loads/stores and which it
+``red``s into, and if the two sets overlap (the kernel could have
+observed a deferred add) the launch restores a pre-run memory snapshot
+and re-executes on the scalar path.  Shared-memory atomics
+(``red.shared``) skip speculation entirely and run the scalar path:
+shared memory is read back by design, so their replay could never
+validate.  No corpus kernel needs either fallback; they exist so the
+fast path can never be wrong, only slower.
+
+``bar.sync`` needs no scheduling here: rows reach a barrier in lockstep,
+and the scalar path's "some warps finished while others wait" error is
+reproduced by requiring equal per-row barrier counts within each block
+at the end of the launch.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.codegen.compiler import CompiledKernel
+from repro.ptx.cfg import EXIT
+from repro.ptx.instruction import Imm, Instruction, ParamRef, Reg, SReg
+from repro.ptx.isa import CmpOp, MemSpace, Opcode, SRegKind
+from repro.sim.emulator import (
+    _NP_DTYPE,
+    WARP,
+    EmulationError,
+    EmulationResult,
+    _KernelRun,
+)
+from repro.sim.memory import DeviceMemory
+
+
+class _ReplaySpeculationFailed(Exception):
+    """Internal: a deferred atomic's target was also loaded/stored."""
+
+
+def has_global_atomics(ck: CompiledKernel) -> bool:
+    """Whether the kernel issues global atomic reductions (the
+    instruction whose cross-warp execution order is observable)."""
+    return any(
+        isinstance(it, Instruction)
+        and it.opcode is Opcode.RED
+        and it.space is MemSpace.GLOBAL
+        for it in ck.ir.body
+    )
+
+
+def has_shared_atomics(ck: CompiledKernel) -> bool:
+    """Whether the kernel issues shared-memory atomic reductions.
+
+    Their accumulation order is as observable as the global case, but
+    shared memory is read back by design, so deferred replay can never
+    validate -- such kernels run the scalar path outright.
+    """
+    return any(
+        isinstance(it, Instruction)
+        and it.opcode is Opcode.RED
+        and it.space is MemSpace.SHARED
+        for it in ck.ir.body
+    )
+
+
+def run_stacked(
+    ck: CompiledKernel,
+    params: dict,
+    tc: int,
+    bc: int,
+    memory: DeviceMemory,
+) -> tuple[EmulationResult, str, int]:
+    """Execute one launch on the stacked fast path.
+
+    Returns ``(result, path, dispatch_steps)`` where ``path`` is the
+    path that actually retired the launch (``grid``, or ``scalar`` after
+    a failed atomic-replay speculation) and ``dispatch_steps`` the
+    number of interpreter steps that retired ``result.total_issues``
+    issue slots.
+    """
+    if has_shared_atomics(ck):
+        # multiple dynamic executions of red.shared interleave across
+        # warps instruction-major on the stack; the scalar order cannot
+        # be reproduced by replay because shared memory is read back
+        result = _KernelRun(ck, params, tc, bc, memory).run()
+        return result, "scalar", result.total_issues
+    snap = memory.snapshot() if has_global_atomics(ck) else None
+    run = _StackedRun(ck, params, tc, bc, memory)
+    try:
+        return run.run(), "grid", run.steps
+    except _ReplaySpeculationFailed:
+        pass
+    except Exception:
+        # an error raised while atomics were deferred may be an artifact
+        # of the speculation (a stale read feeding an address); rerun on
+        # the reference path, which reports the true behaviour
+        if snap is None:
+            raise
+    memory.restore(snap)
+    result = _KernelRun(ck, params, tc, bc, memory).run()
+    return result, "scalar", result.total_issues
+
+
+class _StackedState:
+    """Register file and lane state for a stack of warps."""
+
+    def __init__(self, run: "_StackedRun", block_ids: np.ndarray,
+                 warp_ids: np.ndarray):
+        n = block_ids.size
+        self.shape = (n, WARP)
+        self.lane = np.arange(WARP, dtype=np.int32)
+        self.block_ids = block_ids
+        self.tid = warp_ids[:, None] * WARP + self.lane[None, :]
+        self.run = run
+        self.regs: dict[str, np.ndarray] = {}
+        self.exited = np.zeros(self.shape, dtype=bool)
+        self.exited[self.tid >= run.tc] = True
+        self._sregs: dict[SRegKind, np.ndarray] = {}
+        self._imms: dict[tuple, np.ndarray] = {}
+
+    def read(self, op) -> np.ndarray:
+        if isinstance(op, Reg):
+            if op.name not in self.regs:
+                raise EmulationError(f"read of undefined register {op.name}")
+            return self.regs[op.name]
+        if isinstance(op, Imm):
+            key = (op.value, op.dtype)
+            arr = self._imms.get(key)
+            if arr is None:
+                arr = np.full(self.shape, op.value,
+                              dtype=_NP_DTYPE[op.dtype])
+                self._imms[key] = arr
+            return arr
+        if isinstance(op, SReg):
+            arr = self._sregs.get(op.kind)
+            if arr is None:
+                arr = self._sreg(op.kind)
+                self._sregs[op.kind] = arr
+            return arr
+        raise EmulationError(f"cannot read operand {op!r}")
+
+    def _sreg(self, kind: SRegKind) -> np.ndarray:
+        run = self.run
+        if kind is SRegKind.TID_X:
+            return self.tid.astype(np.int32)
+        if kind is SRegKind.NTID_X:
+            return np.full(self.shape, run.tc, dtype=np.int32)
+        if kind is SRegKind.CTAID_X:
+            return np.broadcast_to(
+                self.block_ids[:, None].astype(np.int32), self.shape
+            )
+        if kind is SRegKind.NCTAID_X:
+            return np.full(self.shape, run.bc, dtype=np.int32)
+        if kind is SRegKind.LANEID:
+            return np.broadcast_to(self.lane[None, :], self.shape)
+        raise EmulationError(f"special register {kind} not modelled")
+
+    def write(self, reg: Reg, value: np.ndarray, mask: np.ndarray) -> None:
+        dt = _NP_DTYPE[reg.dtype]
+        dst = self.regs.get(reg.name)
+        if dst is None:
+            dst = self.regs[reg.name] = np.zeros(self.shape, dtype=dt)
+        value = np.broadcast_to(value, self.shape).astype(dt, copy=False)
+        np.copyto(dst, value, where=mask, casting="no")
+
+
+class _StackedRun(_KernelRun):
+    """One kernel launch executed as a single stacked warp group.
+
+    Reuses :class:`_KernelRun`'s setup (CFG, post-dominators, parameter
+    resolution) and arithmetic semantics; only the driver loop differs.
+    """
+
+    def __init__(self, ck, params, tc, bc, memory):
+        super().__init__(ck, params, tc, bc, memory)
+        self.steps = 0
+        self._meta: dict[str, tuple] = {}
+        self._ldst_allocs: set[str] = set()
+        self._red_allocs: set[str] = set()
+
+    def _block_meta(self, name: str) -> tuple:
+        """Cached per-block counting aggregates.
+
+        ``exit``/``ret``/``bra`` all terminate a basic block, so the
+        active-lane (region) mask is constant across a block's
+        instructions and the per-issue counting the scalar path does can
+        be applied as one per-block aggregate: issues per category,
+        instruction count, and summed register-operand traffic.
+        """
+        meta = self._meta.get(name)
+        if meta is None:
+            instrs = self.cfg.blocks[name].instructions
+            cats: dict = {}
+            regops_sum = 0
+            for ins in instrs:
+                cats[ins.category] = cats.get(ins.category, 0) + 1
+                regops_sum += ins.register_operand_count()
+            meta = (instrs, tuple(cats.items()), regops_sum, len(instrs))
+            self._meta[name] = meta
+        return meta
+
+    # -- whole-launch driver -------------------------------------------
+
+    def run(self, max_issues_per_warp: int = 5_000_000) -> EmulationResult:
+        wpb = -(-self.tc // WARP)
+        rows = [(b, w) for b in range(self.bc) for w in range(wpb)]
+        self._run_group(rows, max_issues_per_warp)
+        return self.result
+
+    # -- stacked SIMT execution ----------------------------------------
+
+    def _run_group(self, rows, max_issues: int) -> None:
+        block_ids = np.array([b for b, _ in rows], dtype=np.int64)
+        warp_ids = np.array([w for _, w in rows], dtype=np.int64)
+        state = _StackedState(self, block_ids, warp_ids)
+        n = len(rows)
+
+        # one shared-memory plane per block
+        smem = (
+            np.zeros((self.bc, self.smem_bytes), dtype=np.uint8)
+            if self.smem_bytes else None
+        )
+        slot2d = np.broadcast_to(block_ids[:, None], state.shape)
+
+        issues = np.zeros(n, dtype=np.int64)
+        bars = np.zeros(n, dtype=np.int64)
+        red_events: list = []
+        red_seq = 0
+        full = ~state.exited
+        if not full.any():
+            return
+        # stack of (block, mask, reconv) -- identical discipline to the
+        # scalar path, with (n, 32) masks carrying per-row lane sets
+        stack: list[tuple[str, np.ndarray, str | None]] = [
+            (self.entry, full.copy(), None)
+        ]
+        res = self.result
+        while stack:
+            block, mask, reconv = stack.pop()
+            while True:
+                mask = mask & ~state.exited
+                enter = mask.any(axis=1)
+                k = int(enter.sum())
+                if not k:
+                    break
+                instrs, cat_counts, regops_sum, n_instr = \
+                    self._block_meta(block)
+                issues[enter] += n_instr
+                self.steps += n_instr
+                if issues[enter].max() > max_issues:
+                    raise EmulationError(
+                        f"warp exceeded {max_issues} issues in "
+                        f"{self.ck.name} (runaway loop?)"
+                    )
+                # per-block aggregate of the scalar path's per-issue
+                # counting: the region mask is constant within a block
+                # (exits always terminate one), so every instruction
+                # counts the same k warps / `total` lanes
+                lanes = mask.sum(axis=1)
+                total = int(lanes.sum())
+                npartial = int(((lanes > 0) & (lanes < WARP)).sum())
+                for cat, cnt in cat_counts:
+                    res.warp_issues[cat] += k * cnt
+                    res.thread_counts[cat] += total * cnt
+                res.total_issues += k * n_instr
+                res.reg_ops += regops_sum * total
+                res.partial_issues += npartial * n_instr
+                any_lanes = total > 0
+                branch_taken = None
+                for ins in instrs:
+                    em = mask
+                    has = any_lanes
+                    if ins.pred is not None:
+                        pv = state.read(ins.pred).astype(bool)
+                        em = em & (~pv if ins.pred_negated else pv)
+                        has = bool(em.any())
+                    op = ins.opcode
+                    if op is Opcode.BRA:
+                        branch_taken = em if ins.pred is not None else em.copy()
+                        continue
+                    if op is Opcode.BAR:
+                        bars[enter] += 1
+                        continue
+                    if op in (Opcode.EXIT, Opcode.RET):
+                        if has:
+                            state.exited |= em
+                        continue
+                    if not has:
+                        continue
+                    if op is Opcode.RED and ins.space is MemSpace.GLOBAL:
+                        # deferred replay: buffer operands per active
+                        # row; applied in scalar order after the group
+                        mem, vop = ins.srcs
+                        addrs = (
+                            state.read(mem.base).astype(np.int64)
+                            + mem.offset
+                        )
+                        vals = state.read(vop)
+                        emf = em.ravel()
+                        target = self.memory.allocation_at(
+                            int(addrs.ravel()[int(np.argmax(emf))])
+                        )
+                        self._red_allocs.add(
+                            target.name if target else "?"
+                        )
+                        for r in np.flatnonzero(em.any(axis=1)):
+                            red_events.append((
+                                (int(block_ids[r]), int(bars[r]), int(r),
+                                 red_seq),
+                                addrs[r].copy(), em[r].copy(),
+                                vals[r].copy(), ins.dtype,
+                            ))
+                            red_seq += 1
+                        continue
+                    self._execute_stacked(state, ins, em, smem, slot2d)
+
+                # decide successor(s), per row
+                mask = mask & ~state.exited
+                alive = mask.any(axis=1)
+                if not alive.any():
+                    break
+                term = self.cfg.blocks[block].terminator
+                if term is None or term.opcode in (Opcode.EXIT, Opcode.RET):
+                    nxt = self._next_of[block] if term is None else None
+                    if term is None and nxt is not None:
+                        block = nxt
+                        if block == reconv:
+                            break
+                        continue
+                    break
+                target = self.cfg.resolve_label(term.branch_target)
+                fall = self._next_of[block]
+                if term.pred is None:
+                    block = target
+                    if block == reconv:
+                        break
+                    continue
+                taken = branch_taken & mask
+                ntaken = mask & ~taken
+                res.branch_count += int(alive.sum())
+                if not ntaken.any():
+                    block = target
+                elif not taken.any():
+                    if fall is None:
+                        break
+                    block = fall
+                else:
+                    # at least one row goes each way (possibly split
+                    # within a row): peel onto arm entries, rejoin at
+                    # the branch block's immediate post-dominator
+                    divergent = taken.any(axis=1) & ntaken.any(axis=1)
+                    res.divergent_branches += int(divergent.sum())
+                    ipd = self.ipdom.get(block, EXIT)
+                    if ipd != EXIT and ipd != reconv:
+                        stack.append((ipd, mask.copy(), reconv))
+                    # an arm that starts AT the rejoin has no work of
+                    # its own: its rows wait there for the other arm
+                    if fall is not None and fall != ipd:
+                        stack.append((fall, ntaken, ipd))
+                    if target != ipd:
+                        stack.append((target, taken, ipd))
+                    break
+                if block == reconv or block == EXIT:
+                    break
+
+        # validate the speculation, then replay deferred atomics in the
+        # scalar path's order: block by block, barrier segment by
+        # segment, warp by warp, program order
+        if red_events:
+            if self._red_allocs & self._ldst_allocs:
+                raise _ReplaySpeculationFailed(
+                    f"{sorted(self._red_allocs & self._ldst_allocs)}"
+                )
+            red_events.sort(key=lambda ev: ev[0])
+            for _key, addrs, em_row, vals, dtype in red_events:
+                self.memory.scatter_add(addrs, em_row, vals, dtype)
+
+        # scalar-path barrier protocol: all warps of a block must reach
+        # every barrier together -- equal per-row counts, per block
+        if bars.any():
+            for b in range(self.bc):
+                counts = bars[block_ids == b]
+                if counts.size and counts.min() != counts.max():
+                    raise EmulationError(
+                        "divergent bar.sync: some warps finished while "
+                        "others wait at a barrier"
+                    )
+
+    # -- instruction semantics -----------------------------------------
+
+    def _execute_stacked(self, state: _StackedState, ins: Instruction,
+                         em: np.ndarray, smem, slot2d) -> None:
+        op = ins.opcode
+
+        if op is Opcode.LD:
+            src = ins.srcs[0]
+            if isinstance(src, ParamRef):
+                value = np.broadcast_to(
+                    self.param_values[src.name], state.shape
+                )
+                state.write(ins.dst, value, em)
+                return
+            addrs = state.read(src.base).astype(np.int64) + src.offset
+            if ins.space is MemSpace.SHARED:
+                val = self._smem_gather_stacked(smem, slot2d, addrs, em,
+                                                ins.dtype)
+            else:
+                val = self.memory.gather(addrs, em, ins.dtype)
+                self._ldst_allocs.add(self.memory.last_target)
+            state.write(ins.dst, val, em)
+            return
+
+        if op in (Opcode.ST, Opcode.RED):
+            mem, vop = ins.srcs
+            addrs = state.read(mem.base).astype(np.int64) + mem.offset
+            vals = state.read(vop)
+            if ins.space is MemSpace.SHARED:
+                self._smem_scatter_stacked(smem, slot2d, addrs, em, vals,
+                                           ins.dtype,
+                                           add=op is Opcode.RED)
+            else:  # global RED is deferred by the driver loop
+                self.memory.scatter(addrs, em, vals, ins.dtype)
+                self._ldst_allocs.add(self.memory.last_target)
+            return
+
+        if op is Opcode.MOV:
+            state.write(ins.dst, state.read(ins.srcs[0]), em)
+            return
+
+        if op is Opcode.SETP:
+            a = state.read(ins.srcs[0])
+            b = state.read(ins.srcs[1])
+            res = {
+                CmpOp.LT: a < b, CmpOp.LE: a <= b, CmpOp.GT: a > b,
+                CmpOp.GE: a >= b, CmpOp.EQ: a == b, CmpOp.NE: a != b,
+            }[ins.cmp]
+            state.write(ins.dst, res, em)
+            return
+
+        if op is Opcode.SELP:
+            a, b, p = (state.read(s) for s in ins.srcs)
+            state.write(ins.dst, np.where(p.astype(bool), a, b), em)
+            return
+
+        if op is Opcode.CVT:
+            v = state.read(ins.srcs[0])
+            state.write(ins.dst, v.astype(_NP_DTYPE[ins.dtype]), em)
+            return
+
+        if op is Opcode.MULWIDE:
+            a = state.read(ins.srcs[0]).astype(np.int64)
+            b = state.read(ins.srcs[1]).astype(np.int64)
+            state.write(ins.dst, a * b, em)
+            return
+
+        srcs = [state.read(s) for s in ins.srcs]
+        dt = _NP_DTYPE[ins.dtype] if ins.dtype else None
+        with np.errstate(all="ignore"):
+            val = self._arith(op, ins, srcs, dt)
+        state.write(ins.dst, val, em)
+
+    # -- shared memory -------------------------------------------------
+
+    def _smem_gather_stacked(self, smem, slot2d, addrs, em,
+                             dtype) -> np.ndarray:
+        np_dt = _NP_DTYPE[dtype]
+        out = np.zeros(addrs.shape, dtype=np_dt)
+        if smem is None:
+            raise EmulationError("shared access without shared memory")
+        view = smem.view(np_dt)
+        idx = (addrs[em] // dtype.nbytes).astype(np.int64)
+        if (idx < 0).any() or (idx >= view.shape[1]).any():
+            raise EmulationError("shared memory access out of bounds")
+        out[em] = view[slot2d[em], idx]
+        return out
+
+    def _smem_scatter_stacked(self, smem, slot2d, addrs, em, vals, dtype,
+                              add: bool) -> None:
+        np_dt = _NP_DTYPE[dtype]
+        if smem is None:
+            raise EmulationError("shared access without shared memory")
+        view = smem.view(np_dt)
+        idx = (addrs[em] // dtype.nbytes).astype(np.int64)
+        if (idx < 0).any() or (idx >= view.shape[1]).any():
+            raise EmulationError("shared memory store out of bounds")
+        slots = slot2d[em]
+        if add:
+            np.add.at(view, (slots, idx), vals[em].astype(np_dt))
+        else:
+            view[slots, idx] = vals[em].astype(np_dt)

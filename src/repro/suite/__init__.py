@@ -25,6 +25,7 @@ from repro.suite.corpus import (
 )
 from repro.suite.evaluate import (
     accuracy_row,
+    emulator_ground_truth,
     quality_row,
 )
 
@@ -33,5 +34,6 @@ __all__ = [
     "corpus_sizes",
     "corpus_space",
     "accuracy_row",
+    "emulator_ground_truth",
     "quality_row",
 ]

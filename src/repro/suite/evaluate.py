@@ -17,8 +17,10 @@ from repro.codegen.compiler import CompileOptions, compile_module
 from repro.core.instruction_mix import static_mix_module
 from repro.core.timing_model import Eq6Model, profile_mae
 from repro.kernels.base import Benchmark
-from repro.sim.counting import exact_counts
+from repro.sim.counting import exact_counts, validate_against_emulation
+from repro.sim.emulator import run_benchmark_emulated
 from repro.sim.timing import LaunchConfig
+from repro.util.rng import rng_for
 
 BASELINE_TC = 128
 """The Table VI dynamic-baseline thread count (shared with
@@ -83,6 +85,36 @@ def mix_error_by_class(module, param_env, sizes) -> tuple[dict, float]:
     return errs, intensity
 
 
+def emulator_ground_truth(benchmark: Benchmark, module, size: int) -> dict:
+    """Back-validate the counting model against a real emulated launch.
+
+    Emulates the member at ``size`` under its declared launch (on the
+    vectorized fast path -- what makes running this per suite pass
+    affordable) and compares the closed-form exact counts against the
+    emulator's thread-level ground truth.  Returns the measured SIMD
+    efficiency, the worst per-category count deviation, and the emulator
+    path/width that produced it.
+    """
+    inputs = benchmark.make_inputs(
+        size, rng_for("suite", "emulate", benchmark.name, size)
+    )
+    tc, bc = benchmark.emu_launch(size)
+    _outs, emu = run_benchmark_emulated(module, inputs, tc=tc, bc=bc)
+    env = benchmark.param_env(size)
+    totals: dict = {}
+    for ck in module:
+        for cat, v in exact_counts(ck, env, tc, bc).by_category.items():
+            totals[cat] = totals.get(cat, 0.0) + v
+    deviations = validate_against_emulation(totals, emu)
+    profile = emu.profile
+    return {
+        "simd_eff": emu.simd_efficiency,
+        "count_err": max(deviations.values(), default=0.0),
+        "emu_mode": profile.mode if profile else "scalar",
+        "emu_width": profile.mean_stack_width if profile else 1.0,
+    }
+
+
 def accuracy_row(
     benchmark: Benchmark,
     gpu: GPUSpec,
@@ -99,7 +131,9 @@ def accuracy_row(
     mix fractions against the exact dynamic mix, summed over the three
     pipe classes and the input sizes (the Table VI metric collapsed to
     one number).  ``intensity``: the static computational intensity the
-    Sec. III-C rule thresholds at 4.0.
+    Sec. III-C rule thresholds at 4.0.  ``simd_eff``/``count_err``: the
+    emulator ground truth from :func:`emulator_ground_truth` at the
+    member's smallest selected size.
     """
     tuner = Autotuner(benchmark, gpu, space=space)
     results = tuner.sweep(sizes=sizes, engine=engine)
@@ -125,7 +159,7 @@ def accuracy_row(
     )
     errs, intensity = mix_error_by_class(module, benchmark.param_env, sizes)
     mix_err = sum(errs.values())
-    return {
+    row = {
         "kernel": benchmark.name,
         "arch": gpu.name,
         "variants": len(observed),
@@ -133,6 +167,8 @@ def accuracy_row(
         "mix_err": mix_err,
         "intensity": intensity,
     }
+    row.update(emulator_ground_truth(benchmark, module, min(sizes)))
+    return row
 
 
 def quality_row(

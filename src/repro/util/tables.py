@@ -71,7 +71,7 @@ def ascii_bar_chart(
     if len(labels) != len(values):
         raise ValueError("labels and values must have equal length")
     vmax = max_value if max_value is not None else max([*values, 1e-12])
-    lw = max((len(l) for l in labels), default=0)
+    lw = max((len(lab) for lab in labels), default=0)
     lines = [title] if title else []
     for label, v in zip(labels, values):
         n = 0 if vmax <= 0 else int(round(width * max(v, 0.0) / vmax))

@@ -2,12 +2,11 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
-from repro.arch import ALL_GPUS, K20, M2050, M40, P100
+from repro.arch import ALL_GPUS, K20, M2050
 from repro.codegen import dsl
-from repro.codegen.compiler import CompileOptions, compile_kernel, compile_module
+from repro.codegen.compiler import CompileOptions, compile_module
 from repro.kernels import get_benchmark
 from repro.util.rng import rng_for
 

@@ -4,7 +4,7 @@ import dataclasses
 
 import pytest
 
-from repro.arch import ALL_GPUS, GPUS_BY_FAMILY, K20, M2050, M40, P100, get_gpu
+from repro.arch import ALL_GPUS, GPUS_BY_FAMILY, K20, M40, P100, get_gpu
 from repro.arch.specs import GPUSpec
 
 

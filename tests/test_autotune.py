@@ -18,8 +18,6 @@ from repro.autotune import (
     NelderMeadSearch,
     RandomSearch,
     SimulatedAnnealingSearch,
-    StaticSearch,
-    default_tuning_spec,
     get_search,
     parse_perf_tuning,
     rank_split,

@@ -10,7 +10,6 @@ from repro.codegen.ast_nodes import (
     Assign,
     BinOp,
     Call,
-    Cast,
     Cmp,
     FloatConst,
     For,
@@ -23,7 +22,6 @@ from repro.codegen.ast_nodes import (
     stmt_exprs,
     substitute,
     substitute_stmt,
-    walk_exprs,
     walk_stmts,
 )
 from repro.codegen import dsl

@@ -13,7 +13,7 @@ from repro.codegen.lowering import (
     lower_kernel,
 )
 from repro.codegen.regions import RegionKind
-from repro.ptx.isa import DType, MemSpace, Opcode
+from repro.ptx.isa import Opcode
 
 
 def _ops(ck):

@@ -1,13 +1,11 @@
 """Tests for the static analyzer: mixes, intensity, Eq. 6, pipeline
 utilization, divergence, suggestions, rules, and the facade."""
 
-import math
 
 import pytest
 
-from repro.arch import ALL_GPUS, K20, M2050
+from repro.arch import ALL_GPUS, K20
 from repro.arch.throughput import PipeClass
-from repro.codegen.compiler import CompileOptions, compile_kernel, compile_module
 from repro.core.analyzer import StaticAnalyzer
 from repro.core.divergence import analyze_divergence, expected_warp_efficiency
 from repro.core.instruction_mix import (

@@ -7,10 +7,9 @@ import pytest
 
 from repro.arch import ALL_GPUS, K20
 from repro.codegen.compiler import CompileOptions, compile_module
-from repro.kernels import BENCHMARKS, Benchmark, get_benchmark
+from repro.kernels import BENCHMARKS, get_benchmark
 from repro.kernels.base import register
 from repro.sim.emulator import run_benchmark_emulated
-from repro.util.rng import rng_for
 
 from tests.conftest import make_benchmark_run
 

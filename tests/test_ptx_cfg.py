@@ -5,7 +5,7 @@ import pytest
 from repro.arch import K20
 from repro.codegen.compiler import CompileOptions, compile_kernel
 from repro.kernels import get_benchmark
-from repro.ptx.cfg import CFG, ENTRY, EXIT, build_cfg
+from repro.ptx.cfg import ENTRY, EXIT, build_cfg
 from repro.ptx.parser import parse_kernel
 
 LOOP_KERNEL = """

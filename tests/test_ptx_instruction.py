@@ -12,7 +12,7 @@ from repro.ptx.instruction import (
     Reg,
     SReg,
 )
-from repro.ptx.isa import CmpOp, DType, MemSpace, Opcode, SRegKind
+from repro.ptx.isa import DType, MemSpace, Opcode, SRegKind
 
 
 def r(name, dt=DType.S32):

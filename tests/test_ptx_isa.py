@@ -5,7 +5,6 @@ import pytest
 from repro.arch.throughput import InstrCategory
 from repro.ptx.isa import (
     DType,
-    MemSpace,
     Opcode,
     SFU_OPS,
     TERMINATORS,

@@ -4,7 +4,6 @@ Also covers branch-fraction exactness (ex14FJ boundary formula), the
 affine-in-threads cache, and warp-level count semantics.
 """
 
-import numpy as np
 import pytest
 
 from repro.arch import K20, M2050

@@ -1,6 +1,5 @@
 """Tests for the CLI tools and timing-model units."""
 
-import math
 
 import pytest
 
@@ -10,7 +9,6 @@ from repro.codegen.regions import MemAccess
 from repro.kernels import get_benchmark
 from repro.ptx.isa import DType, MemSpace
 from repro.sim.timing import (
-    DEFAULT_PARAMS,
     LaunchConfig,
     ModelParams,
     TimingModel,

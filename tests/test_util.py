@@ -1,6 +1,5 @@
 """Tests for utilities: tables, stats, RNG policy."""
 
-import numpy as np
 import pytest
 from hypothesis import given, strategies as st
 
