@@ -1,0 +1,33 @@
+"""Differential-executor throughput bench.
+
+Times a fixed-seed slice of the fuzz campaign -- generation plus the
+full three-way check (reference, scalar emulator, vectorized emulator)
+per program -- and enforces the CI budget contract: the default
+100-program campaign must finish with comfortable headroom inside the
+fuzz job's 120-second ceiling.  A regression here (a slower scalar
+path, a pathological generator change) would otherwise surface as a
+flaky nightly timeout.
+"""
+
+from repro.fuzz import check_program, generate_program
+
+SEEDS = range(24)
+PROGRAMS_PER_SECOND_FLOOR = 2.0
+
+
+def _check_slice():
+    mismatches = [
+        s for s in SEEDS if check_program(generate_program(s)) is not None
+    ]
+    assert not mismatches, f"differential mismatches at seeds {mismatches}"
+    return len(SEEDS)
+
+
+def test_bench_differential_throughput(benchmark):
+    count = benchmark.pedantic(_check_slice, rounds=3, iterations=1)
+    per_second = count / benchmark.stats.stats.mean
+    assert per_second >= PROGRAMS_PER_SECOND_FLOOR, (
+        f"differential executor at {per_second:.2f} programs/s; the "
+        f"default 100-program campaign would breach its CI budget"
+    )
+    print(f"\n{per_second:.1f} programs/s over {count} fixed seeds")

@@ -615,6 +615,14 @@ def evaluate_expr(e: Expr, env: dict[str, float]) -> float:
             "rsqrt": lambda x: 1.0 / math.sqrt(x),
             "rcp": lambda x: 1.0 / x,
         }[e.fn](v)
+    if isinstance(e, Load):
+        # input-aware evaluation: the caller may bind whole input arrays
+        # in ``env`` (the counting model does, for data-dependent bounds
+        # like CSR row extents); absent arrays raise like unbound scalars
+        if e.array not in env:
+            raise KeyError(f"unbound array {e.array!r} in expression")
+        v = env[e.array][int(evaluate_expr(e.index, env))]
+        return float(v) if e.dtype.is_float else int(v)
     raise TypeError(f"cannot evaluate {type(e).__name__} numerically")
 
 
@@ -687,4 +695,12 @@ def evaluate_expr_numpy(e: Expr, env: dict):
             "rsqrt": lambda x: 1.0 / np.sqrt(x),
             "rcp": lambda x: 1.0 / x,
         }[e.fn](v)
+    if isinstance(e, Load):
+        # vectorized gather from a bound input array (data-dependent
+        # branch conditions / loop bounds over concrete inputs)
+        if e.array not in env:
+            raise KeyError(f"unbound array {e.array!r} in expression")
+        arr = np.asarray(env[e.array])
+        idx = np.asarray(evaluate_expr_numpy(e.index, env)).astype(np.int64)
+        return arr[idx]
     raise TypeError(f"cannot evaluate {type(e).__name__} with numpy")

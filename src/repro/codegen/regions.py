@@ -168,6 +168,53 @@ class DynamicCounts:
 
 BranchFractionFn = Callable[[Region, dict, list], float]
 
+DATA_DEP_TRIPS_DEFAULT = 8.0
+"""Assumed mean trip count for sequential loops whose bounds cannot be
+evaluated from the environment at all -- data-dependent trips (e.g. CSR
+row extents) with the input arrays absent, which is exactly the static
+analyzer's blind spot.  Callers that *can* see the inputs (the exact
+counting substrate) bind the arrays in ``env`` and never hit this."""
+
+
+def _sloop_trips(region: Region, env: dict, loop_stack: list) -> float:
+    """Mean trips per entry of a sequential loop, best effort.
+
+    Three tiers: exact scalar evaluation when the bounds only reference
+    parameters (every regular corpus kernel); a vectorized mean over the
+    enclosing loop domain when the bounds reference enclosing loop
+    variables or input arrays bound in ``env`` (triangular loops, CSR row
+    extents); and :data:`DATA_DEP_TRIPS_DEFAULT` when the data the bounds
+    need is absent -- the static analyzer's documented assumption for
+    data-dependent loops.
+    """
+    try:
+        return float(region.iterations(env))
+    except (KeyError, TypeError):
+        pass
+    try:
+        import numpy as np
+
+        from repro.codegen.ast_nodes import evaluate_expr_numpy
+
+        axes = []
+        for r in loop_stack:
+            lo = int(evaluate_expr(r.lower, env))
+            hi = int(evaluate_expr(r.upper, env))
+            axes.append(np.arange(lo, hi, r.step, dtype=np.int64))
+        if not axes or any(a.size == 0 for a in axes):
+            return DATA_DEP_TRIPS_DEFAULT
+        grids = np.meshgrid(*axes, indexing="ij", sparse=True)
+        bind = dict(env)
+        for r, g in zip(loop_stack, grids):
+            bind[r.loop_var] = g
+        lo = np.asarray(evaluate_expr_numpy(region.lower, bind), np.float64)
+        hi = np.asarray(evaluate_expr_numpy(region.upper, bind), np.float64)
+        trips = np.ceil(np.maximum(hi - lo, 0.0) / region.step)
+        shape = tuple(a.size for a in axes)
+        return float(np.broadcast_to(trips, shape).mean())
+    except (KeyError, TypeError):
+        return DATA_DEP_TRIPS_DEFAULT
+
 
 def _half(region: Region, env: dict, loop_stack: list) -> float:
     """The static analyzer's branch assumption: both arms equally likely.
@@ -220,7 +267,7 @@ def evaluate_region_tree(
                 child_count = float(child.iterations(env))
                 visit(child, child_count, loops + [child])
             elif child.kind is RegionKind.SLOOP:
-                child_count = count * child.iterations(env)
+                child_count = count * _sloop_trips(child, env, loops)
                 visit(child, child_count, loops + [child])
             elif child.kind in (RegionKind.THEN, RegionKind.ELSE):
                 frac = branch_fraction(child, env, loops)

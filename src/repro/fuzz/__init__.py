@@ -1,0 +1,55 @@
+"""Differential fuzzing of the simulation stack.
+
+``repro.fuzz`` closes the loop the hand-written corpus cannot: instead
+of fifteen curated kernels, it draws unbounded random programs from the
+DSL fragment where bit-exact agreement is provable
+(:mod:`repro.fuzz.generator`), executes each three ways -- independent
+NumPy reference, scalar per-warp emulator, vectorized grid-level
+emulator (:mod:`repro.fuzz.differential`) -- and demands bitwise
+identity of output memory plus full counter/divergence equality between
+the emulator paths.  Failures are minimized by delta debugging
+(:mod:`repro.fuzz.shrink`) and dumped as self-contained JSON
+reproducers (:mod:`repro.fuzz.serialize`) that replay as permanent
+regression tests from ``tests/fuzz_corpus/``.
+"""
+
+from repro.fuzz.differential import (
+    BUDGET_ENV,
+    COUNTER_FIELDS,
+    DEFAULT_BUDGET,
+    CampaignResult,
+    Mismatch,
+    check_program,
+    fuzz_budget,
+    run_fuzz_campaign,
+)
+from repro.fuzz.generator import ACC_BINS, FuzzProgram, generate_program
+from repro.fuzz.reference import ReferenceError, reference_run
+from repro.fuzz.serialize import (
+    dump_program,
+    load_program,
+    program_from_json,
+    program_to_json,
+)
+from repro.fuzz.shrink import shrink_program
+
+__all__ = [
+    "ACC_BINS",
+    "BUDGET_ENV",
+    "COUNTER_FIELDS",
+    "DEFAULT_BUDGET",
+    "CampaignResult",
+    "FuzzProgram",
+    "Mismatch",
+    "ReferenceError",
+    "check_program",
+    "dump_program",
+    "fuzz_budget",
+    "generate_program",
+    "load_program",
+    "program_from_json",
+    "program_to_json",
+    "reference_run",
+    "run_fuzz_campaign",
+    "shrink_program",
+]

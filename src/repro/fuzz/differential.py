@@ -1,0 +1,176 @@
+"""Three-way differential execution of generated programs.
+
+Every program runs on the NumPy reference interpreter, the scalar
+per-warp emulator, and the vectorized grid-level emulator.  The check
+is *bitwise*: output memory across all three, and the full counter /
+divergence-statistics surface between the two emulator paths (the
+reference deliberately models memory only -- instruction counting is
+exactly what the two emulator paths must agree on with each other).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.arch import K20
+from repro.codegen.compiler import CompileOptions, compile_module
+from repro.fuzz.generator import FuzzProgram, generate_program
+from repro.fuzz.reference import reference_run
+from repro.sim.emulator import run_benchmark_emulated
+
+BUDGET_ENV = "REPRO_FUZZ_BUDGET"
+DEFAULT_BUDGET = 100
+
+COUNTER_FIELDS = (
+    "thread_counts", "warp_issues", "reg_ops", "branch_count",
+    "divergent_branches", "partial_issues", "total_issues",
+)
+"""The emulator-result surface compared between the two paths (memory
+is compared separately, bitwise)."""
+
+
+@dataclass
+class Mismatch:
+    """One differential failure, attached to the offending program."""
+
+    kind: str
+    detail: str
+    program: FuzzProgram
+
+    def __str__(self):
+        head = f"[seed={self.program.seed}] {self.kind}: {self.detail}"
+        return f"{head}\n{self.program.spec}"
+
+
+@dataclass
+class CampaignResult:
+    programs: int
+    failures: list = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def summary(self) -> str:
+        if self.ok:
+            return f"{self.programs} programs, no mismatches"
+        kinds = sorted({m.kind for m in self.failures})
+        seeds = sorted({m.program.seed for m in self.failures})
+        return (f"{len(self.failures)} mismatches over {self.programs} "
+                f"programs (kinds: {', '.join(kinds)}; seeds: {seeds})")
+
+
+def fuzz_budget(default: int = DEFAULT_BUDGET) -> int:
+    """Programs per campaign; ``REPRO_FUZZ_BUDGET`` overrides (CI's
+    nightly schedule raises it 10x)."""
+    return int(os.environ.get(BUDGET_ENV, default))
+
+
+def _emulate(program: FuzzProgram, mode: str):
+    module = compile_module(
+        program.spec.name, [program.spec], CompileOptions(gpu=K20)
+    )
+    return run_benchmark_emulated(
+        module, program.fresh_inputs(), tc=program.tc, bc=program.bc,
+        mode=mode,
+    )
+
+
+def check_program(program: FuzzProgram) -> Mismatch | None:
+    """Run the three executors; ``None`` means full agreement."""
+    try:
+        outs_s, res_s = _emulate(program, "scalar")
+    except Exception as exc:  # noqa: BLE001 - any failure is a finding
+        return Mismatch("scalar-error", f"{type(exc).__name__}: {exc}",
+                        program)
+    try:
+        outs_v, res_v = _emulate(program, "vector")
+    except Exception as exc:  # noqa: BLE001
+        return Mismatch("vector-error", f"{type(exc).__name__}: {exc}",
+                        program)
+    try:
+        ref_mem = reference_run(program)
+    except Exception as exc:  # noqa: BLE001
+        return Mismatch("reference-error",
+                        f"{type(exc).__name__}: {exc}", program)
+
+    for f in COUNTER_FIELDS:
+        sv, vv = getattr(res_s, f), getattr(res_v, f)
+        if sv != vv:
+            return Mismatch(
+                "counter", f"{f}: scalar={sv!r} vector={vv!r}", program
+            )
+    if res_s != res_v:
+        return Mismatch("result", "EmulationResult fields differ",
+                        program)
+
+    for name in program.output_names:
+        s, v = outs_s[name], outs_v[name]
+        if s.tobytes() != v.tobytes():
+            return Mismatch(
+                "memory:scalar-vs-vector",
+                f"{name}: {_first_diff(s, v)}", program,
+            )
+        r = ref_mem[name]
+        if s.tobytes() != r.tobytes():
+            return Mismatch(
+                "memory:emulator-vs-reference",
+                f"{name}: {_first_diff(s, r)}", program,
+            )
+    return None
+
+
+def _first_diff(a: np.ndarray, b: np.ndarray) -> str:
+    if a.shape != b.shape or a.dtype != b.dtype:
+        return f"shape/dtype {a.shape}/{a.dtype} vs {b.shape}/{b.dtype}"
+    diff = np.flatnonzero(
+        a.view(np.uint8).reshape(a.size, -1)
+        != b.view(np.uint8).reshape(b.size, -1)
+    )
+    if diff.size == 0:
+        return "identical?"
+    elem = int(diff[0]) // max(a.itemsize, 1)
+    return (f"{np.count_nonzero(a != b) or diff.size} elems differ, "
+            f"first at [{elem}]: {a.flat[elem]!r} vs {b.flat[elem]!r}")
+
+
+def run_fuzz_campaign(
+    budget: int | None = None,
+    base_seed: int = 0,
+    corpus_dir: str | None = None,
+    do_shrink: bool = True,
+    max_failures: int = 5,
+) -> CampaignResult:
+    """Generate and differentially check ``budget`` programs.
+
+    Failures are shrunk to minimal reproducers and, when ``corpus_dir``
+    is given, dumped there as replayable JSON (the CI nightly uploads
+    that directory as an artifact).  Stops early after ``max_failures``
+    distinct failures -- one campaign run reporting five shrunk
+    reproducers beats a thousand copies of the same defect.
+    """
+    from repro.fuzz.serialize import dump_program
+    from repro.fuzz.shrink import shrink_program
+
+    budget = fuzz_budget() if budget is None else budget
+    result = CampaignResult(programs=0)
+    for seed in range(base_seed, base_seed + budget):
+        program = generate_program(seed)
+        result.programs += 1
+        mismatch = check_program(program)
+        if mismatch is None:
+            continue
+        if do_shrink:
+            shrunk = shrink_program(program, check_program)
+            mismatch = check_program(shrunk) or mismatch
+            mismatch.program = shrunk
+        if corpus_dir:
+            path = os.path.join(corpus_dir, f"fuzz_seed{seed}.json")
+            dump_program(mismatch.program, path, note=mismatch.kind)
+        result.failures.append(mismatch)
+        if len(result.failures) >= max_failures:
+            break
+    return result

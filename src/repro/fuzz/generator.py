@@ -1,0 +1,397 @@
+"""Seeded random DSL-program generator for the differential fuzzer.
+
+Every program drawn here must satisfy three executors at once -- the
+lockstep NumPy reference (:mod:`repro.fuzz.reference`), the scalar
+per-warp emulator, and the vectorized grid-level path -- *bit
+identically*.  The grammar is therefore constrained to the part of the
+DSL where that equality is a theorem rather than a hope:
+
+- **float arithmetic** is restricted to operations every executor
+  evaluates as the same elementwise NumPy expression (``+ - * min max``,
+  negation, ``abs``, and the lowering's exact Newton-refined ``/``
+  sequence).  No transcendentals: their lowering is a rational
+  approximation whose mirror would just duplicate the lowering.
+- **locals** keep a single dtype for life and receive an unconditional
+  first assignment before any conditional use -- a register first
+  written inside a branch arm the whole warp skips would be *undefined*
+  on a later read (a real EmulationError, not a miscompare).
+- **indices** stay provably in-bounds for active lanes: ``i``,
+  ``(i + c) % N``, ``(i + j) % N``, and small loop counters.
+- **global stores** target the thread's own ``out[i]`` slot only, and
+  loads never touch written arrays, so thread order is unobservable.
+- **atomicAdd contributions are integral-valued f32** (exact in float
+  addition at any order, so contention order is unobservable too); the
+  key expressions steer contention from all-threads-one-counter to
+  nearly-conflict-free.
+- **barrier programs** launch with ``N = tc*bc*rounds`` so every thread
+  runs the same trip count and hits each ``bar.sync`` in lockstep;
+  shared-memory traffic is structured store-own-slot / sync / read-any
+  / sync blocks at the top level of the grid loop.
+
+Divergence, data-dependent trip counts, masked final-round tails,
+nested control flow, and atomic contention -- the shapes the irregular
+corpus members exercise -- all remain in the grammar; only the
+order-observable and undefined-behaviour corners are fenced off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.codegen.ast_nodes import (
+    ArrayParam,
+    Assign,
+    AtomicAdd,
+    BinOp,
+    Cast,
+    Cmp,
+    FloatConst,
+    For,
+    If,
+    IntConst,
+    KernelSpec,
+    Load,
+    NotOp,
+    ScalarParam,
+    Store,
+    Sync,
+    UnaryOp,
+    VarRef,
+)
+from repro.ptx.isa import DType
+
+ACC_BINS = 16
+"""Length of the atomic accumulator array (key expressions are reduced
+mod this)."""
+
+_CMP_OPS = ("lt", "le", "gt", "ge", "eq", "ne")
+
+
+@dataclass
+class FuzzProgram:
+    """One generated differential test case: a kernel plus its launch
+    and concrete inputs.  ``output_names`` lists the arrays whose final
+    memory the three executors must agree on bit-for-bit."""
+
+    spec: KernelSpec
+    tc: int
+    bc: int
+    inputs: dict
+    output_names: tuple
+    seed: int | None = None
+    note: str = ""
+
+    @property
+    def n(self) -> int:
+        return int(self.inputs["N"])
+
+    def fresh_inputs(self) -> dict:
+        """A deep copy safe to hand to a (mutating) executor."""
+        return {
+            k: v.copy() if isinstance(v, np.ndarray) else v
+            for k, v in self.inputs.items()
+        }
+
+
+@dataclass
+class _Scope:
+    """Mutable generation state: which names are live and typed how."""
+
+    rng: np.random.Generator
+    n_param: str
+    float_locals: list = field(default_factory=list)
+    int_locals: list = field(default_factory=list)
+    loop_vars: list = field(default_factory=list)
+    float_arrays: list = field(default_factory=list)
+    int_arrays: list = field(default_factory=list)
+    depth: int = 0
+
+
+def _ivar(name: str) -> VarRef:
+    return VarRef(name, DType.S32)
+
+
+def _fvar(name: str) -> VarRef:
+    return VarRef(name, DType.F32)
+
+
+def _index_expr(sc: _Scope) -> "BinOp | VarRef":
+    """An index provably in ``[0, N)`` for active lanes."""
+    i = _ivar("i")
+    n = _ivar(sc.n_param)
+    pick = sc.rng.integers(0, 3 if sc.loop_vars else 2)
+    if pick == 0:
+        return i
+    if pick == 1:
+        c = int(sc.rng.integers(0, 9))
+        return BinOp("%", BinOp("+", i, IntConst(c)), n)
+    j = _ivar(str(sc.rng.choice(sc.loop_vars)))
+    return BinOp("%", BinOp("+", i, j), n)
+
+
+def _int_leaf(sc: _Scope):
+    choices = ["const", "i"]
+    if sc.int_locals:
+        choices += ["local"] * 2
+    if sc.loop_vars:
+        choices.append("loop")
+    if sc.int_arrays:
+        choices.append("load")
+    kind = sc.rng.choice(choices)
+    if kind == "const":
+        return IntConst(int(sc.rng.integers(-3, 9)))
+    if kind == "i":
+        return _ivar("i")
+    if kind == "local":
+        return _ivar(str(sc.rng.choice(sc.int_locals)))
+    if kind == "loop":
+        return _ivar(str(sc.rng.choice(sc.loop_vars)))
+    arr = str(sc.rng.choice(sc.int_arrays))
+    return Load(arr, _index_expr(sc), DType.S32)
+
+
+def _float_leaf(sc: _Scope):
+    choices = ["const", "local", "local", "load", "cast"]
+    kind = sc.rng.choice(choices)
+    if kind == "const" or (kind == "local" and not sc.float_locals):
+        return FloatConst(round(float(sc.rng.uniform(-2.0, 2.0)), 3))
+    if kind == "local":
+        return _fvar(str(sc.rng.choice(sc.float_locals)))
+    if kind == "load":
+        arr = str(sc.rng.choice(sc.float_arrays))
+        return Load(arr, _index_expr(sc), DType.F32)
+    return Cast(DType.F32, _int_expr(sc, 1))
+
+
+def _int_expr(sc: _Scope, depth: int):
+    if depth <= 0:
+        return _int_leaf(sc)
+    op = sc.rng.choice(["+", "-", "*", "min", "max", "//", "%", "neg",
+                        "abs", "shl"])
+    if op in ("neg", "abs"):
+        return UnaryOp("-" if op == "neg" else "abs",
+                       _int_expr(sc, depth - 1))
+    if op in ("//", "%"):
+        # divisor: positive constant, so C-truncating semantics and the
+        # a - trunc(a/b)*b lowering stay exactly mirrorable
+        return BinOp(op, _int_expr(sc, depth - 1),
+                     IntConst(int(sc.rng.integers(1, 8))))
+    if op == "shl":
+        # int multiply by a power of two lowers to SHL
+        return BinOp("*", _int_expr(sc, depth - 1),
+                     IntConst(int(2 ** sc.rng.integers(1, 4))))
+    return BinOp(op, _int_expr(sc, depth - 1), _int_expr(sc, depth - 1))
+
+
+def _float_expr(sc: _Scope, depth: int, allow_div: bool = True):
+    if depth <= 0:
+        return _float_leaf(sc)
+    ops = ["+", "+", "-", "*", "*", "min", "max", "neg", "abs"]
+    if allow_div:
+        ops.append("/")
+    op = sc.rng.choice(ops)
+    if op in ("neg", "abs"):
+        return UnaryOp("-" if op == "neg" else "abs",
+                       _float_expr(sc, depth - 1, allow_div))
+    return BinOp(op, _float_expr(sc, depth - 1, allow_div),
+                 _float_expr(sc, depth - 1, allow_div))
+
+
+def _cond(sc: _Scope):
+    if sc.rng.random() < 0.6 or not sc.float_locals:
+        e = Cmp(str(sc.rng.choice(_CMP_OPS)), _int_expr(sc, 1),
+                _int_expr(sc, 1))
+    else:
+        e = Cmp(str(sc.rng.choice(_CMP_OPS)), _float_expr(sc, 1),
+                _float_expr(sc, 1))
+    if sc.rng.random() < 0.15:
+        e = NotOp(e)
+    return e
+
+
+def _assign(sc: _Scope) -> Assign:
+    if sc.int_locals and sc.rng.random() < 0.35:
+        v = str(sc.rng.choice(sc.int_locals))
+        return Assign(v, _int_expr(sc, int(sc.rng.integers(1, 3))))
+    v = str(sc.rng.choice(sc.float_locals))
+    return Assign(v, _float_expr(sc, int(sc.rng.integers(1, 4))))
+
+
+def _branch(sc: _Scope, nest: int) -> If:
+    then_body = [_assign(sc) for _ in range(int(sc.rng.integers(1, 4)))]
+    if nest > 0 and sc.rng.random() < 0.3:
+        then_body.append(_branch(sc, nest - 1))
+    else_body = ()
+    if sc.rng.random() < 0.5:
+        else_body = tuple(
+            _assign(sc) for _ in range(int(sc.rng.integers(1, 3)))
+        )
+    return If(_cond(sc), tuple(then_body), else_body)
+
+
+def _loop(sc: _Scope, var: str, nest: int) -> For:
+    """A sequential loop; the bound is often data-dependent but always
+    provably small (reduced mod a constant <= 8)."""
+    kind = sc.rng.integers(0, 3)
+    if kind == 0:
+        upper = IntConst(int(sc.rng.integers(1, 7)))
+    elif kind == 1:
+        mod = int(sc.rng.integers(2, 9))
+        upper = BinOp("%", _ivar("i"), IntConst(mod))
+    else:
+        mod = int(sc.rng.integers(2, 9))
+        upper = BinOp(
+            "%", UnaryOp("abs", _int_expr(sc, 1)), IntConst(mod)
+        )
+    sc.loop_vars.append(var)
+    body = [_assign(sc) for _ in range(int(sc.rng.integers(1, 3)))]
+    if sc.rng.random() < 0.4:
+        body.append(_branch(sc, 0))
+    if nest > 0 and sc.rng.random() < 0.25:
+        body.append(_loop(sc, var + "j", nest - 1))
+    sc.loop_vars.pop()
+    return For(var, IntConst(0), upper, tuple(body))
+
+
+def _atomic(sc: _Scope) -> AtomicAdd:
+    """Integral-valued f32 contribution; the key picks the contention
+    profile (one hot counter / striped / data-dependent skew)."""
+    kind = sc.rng.integers(0, 3)
+    if kind == 0:
+        key = IntConst(int(sc.rng.integers(0, ACC_BINS)))
+    elif kind == 1:
+        key = BinOp("%", _ivar("i"), IntConst(ACC_BINS))
+    else:
+        arr = str(sc.rng.choice(sc.int_arrays))
+        key = BinOp("%", Load(arr, _index_expr(sc), DType.S32),
+                    IntConst(ACC_BINS))
+    vkind = sc.rng.integers(0, 3)
+    if vkind == 0:
+        val = FloatConst(float(sc.rng.integers(1, 4)))
+    elif vkind == 1:
+        val = Cast(DType.F32, BinOp("%", _ivar("i"),
+                                    IntConst(int(sc.rng.integers(2, 5)))))
+    else:
+        val = Cast(
+            DType.F32,
+            BinOp("%", UnaryOp("abs", _int_expr(sc, 1)), IntConst(4)),
+        )
+    return AtomicAdd("acc", key, val)
+
+
+def _smem_block(sc: _Scope, smem: str, tc: int) -> list:
+    """store-own-slot / sync / combine-a-neighbour / sync.
+
+    The slot is ``i % tc``: with ``N`` a multiple of ``tc * bc``, that
+    is exactly the thread's block-local id every grid-stride round, so
+    slots are conflict-free within a block and each round's stores are
+    fenced from its reads by the two barriers.
+    """
+    lane = BinOp("%", _ivar("i"), IntConst(tc))
+    src = str(sc.rng.choice(sc.float_locals))
+    dst = str(sc.rng.choice(sc.float_locals))
+    shift = int(sc.rng.integers(1, tc))
+    neighbour = BinOp("%", BinOp("+", lane, IntConst(shift)),
+                      IntConst(tc))
+    return [
+        Store(smem, lane, _fvar(src)),
+        Sync(),
+        Assign(dst, BinOp(str(sc.rng.choice(["+", "min", "max"])),
+                          _fvar(dst), Load(smem, neighbour, DType.F32))),
+        Sync(),
+    ]
+
+
+def generate_program(seed: int) -> FuzzProgram:
+    """Draw one deterministic program from ``seed``."""
+    rng = np.random.default_rng(seed)
+    tc = int(rng.choice([32, 64]))
+    bc = int(rng.choice([1, 2, 3]))
+    threads = tc * bc
+    barrier = rng.random() < 0.25
+    if barrier:
+        rounds = int(rng.choice([1, 2]))
+        n = threads * rounds
+    else:
+        n = int(rng.integers(max(8, threads // 2), 3 * threads))
+
+    sc = _Scope(rng=rng, n_param="N")
+    sc.float_arrays = ["a", "b"]
+    sc.int_arrays = ["k"]
+    sc.float_locals = ["f0", "f1"] + (["f2"] if rng.random() < 0.5 else [])
+    sc.int_locals = ["q0"] + (["q1"] if rng.random() < 0.4 else [])
+
+    use_atomics = rng.random() < 0.5
+
+    inputs = {
+        "N": n,
+        "a": rng.standard_normal(n).astype(np.float32),
+        "b": rng.standard_normal(n).astype(np.float32),
+        "k": rng.integers(0, 8, n).astype(np.int32),
+        "out": np.zeros(n, np.float32),
+    }
+    output_names = ["out"]
+    if use_atomics:
+        inputs["acc"] = np.zeros(ACC_BINS, np.float32)
+        output_names.append("acc")
+
+    # unconditional init block: every local is defined before any
+    # conditional use (see the undefined-register invariant above)
+    body: list = []
+    for idx, name in enumerate(sc.float_locals):
+        arr = sc.float_arrays[idx % len(sc.float_arrays)]
+        body.append(Assign(name, Load(arr, _index_expr(sc), DType.F32)))
+    for idx, name in enumerate(sc.int_locals):
+        if idx == 0:
+            body.append(Assign(name, Load("k", _ivar("i"), DType.S32)))
+        else:
+            body.append(
+                Assign(name, BinOp("%", _ivar("i"),
+                                   IntConst(int(rng.integers(2, 9)))))
+            )
+
+    n_stmts = int(rng.integers(2, 7))
+    loop_serial = 0
+    for _ in range(n_stmts):
+        kinds = ["assign", "branch", "branch", "loop"]
+        if use_atomics:
+            kinds.append("atomic")
+        if barrier:
+            kinds.append("smem")
+        kind = rng.choice(kinds)
+        if kind == "assign":
+            body.append(_assign(sc))
+        elif kind == "branch":
+            body.append(_branch(sc, nest=1))
+        elif kind == "loop":
+            body.append(_loop(sc, f"t{loop_serial}", nest=1))
+            loop_serial += 1
+        elif kind == "atomic":
+            body.append(_atomic(sc))
+        else:
+            body.extend(_smem_block(sc, "stile", tc))
+
+    body.append(Store("out", _ivar("i"),
+                      _fvar(str(rng.choice(sc.float_locals)))))
+
+    params = [ScalarParam("N", DType.S32),
+              ArrayParam("a", DType.F32), ArrayParam("b", DType.F32),
+              ArrayParam("k", DType.S32), ArrayParam("out", DType.F32)]
+    if use_atomics:
+        params.append(ArrayParam("acc", DType.F32))
+    smem_arrays = ((("stile", tc, DType.F32),) if barrier else ())
+
+    spec = KernelSpec(
+        name=f"fuzz{seed}",
+        params=tuple(params),
+        body=(For("i", IntConst(0), _ivar("N"), tuple(body),
+                  parallel=True),),
+        smem_arrays=smem_arrays,
+    )
+    return FuzzProgram(
+        spec=spec, tc=tc, bc=bc, inputs=inputs,
+        output_names=tuple(output_names), seed=seed,
+        note=("barrier" if barrier else "strided"),
+    )

@@ -1,0 +1,326 @@
+"""Independent lockstep NumPy reference for generated fuzz programs.
+
+This interpreter executes a :class:`~repro.fuzz.generator.FuzzProgram`
+directly from the DSL AST -- it never sees the lowered PTX -- as one
+statement-level vectorized machine over all ``T = tc * bc`` threads of
+the launch at once:
+
+- every local is a ``(T,)`` array, zero-filled on first (possibly
+  partial) write and updated under the active-lane mask, exactly the
+  emulator's register model;
+- an ``If`` executes both arms under refined masks (``mask & cond`` /
+  ``mask & ~cond``) -- whether the lowering predicates the arm or emits
+  a real branch is a *counting* difference, invisible in memory;
+- a sequential ``For`` evaluates its bound **once** at entry and then
+  iterates while any lane remains active, incrementing the loop
+  variable only for lanes that executed the body (the emulator's
+  entry-guard/latch structure);
+- the grid-stride loop becomes round-major execution: round ``r``
+  handles ``i = g + r*T`` under the mask ``i < N``.  Round-major equals
+  the emulator's thread-major order because the generator's invariants
+  make cross-thread effects order-free (own-slot stores, exact integral
+  atomics) or barrier-fenced (shared tiles);
+- shared arrays are ``(bc, size)`` planes persisting across rounds,
+  indexed by each thread's block row.
+
+Arithmetic must be *bit-identical* to the lowering + emulator pipeline,
+so the interpreter reproduces their choices: C-truncating integer
+division (independently formulated through float64 ``trunc``, exact for
+s32), ``a - trunc(a/b)*b`` for ``%``, int32 wraparound under
+``errstate(ignore)``, and the non-fast-math float division's Newton
+sequence (reciprocal, one refinement FMA pair, quotient, remainder
+correction).  Everything else in the generator's grammar is a plain
+same-dtype elementwise NumPy op on both sides by construction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.codegen.ast_nodes import (
+    Assign,
+    AtomicAdd,
+    BinOp,
+    BoolOp,
+    Cast,
+    Cmp,
+    Expr,
+    FloatConst,
+    For,
+    If,
+    IntConst,
+    Load,
+    NotOp,
+    Store,
+    Sync,
+    UnaryOp,
+    VarRef,
+)
+from repro.ptx.isa import DType
+
+_NP = {DType.S32: np.int32, DType.S64: np.int64,
+       DType.F32: np.float32, DType.F64: np.float64}
+
+_LOOP_CAP = 1_000_000
+"""Hard iteration cap: a generated bound is <= 8, so hitting this means
+the generator or shrinker produced a runaway loop -- fail loudly."""
+
+
+class ReferenceError(Exception):
+    """The program left the reference-executable fragment."""
+
+
+def _trunc_div(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """C-style truncating division, zero divisor yields quotient 0.
+
+    Formulated independently of the emulator's helper (float64 division
+    plus ``trunc``, exact over the s32 range) so the two sides of the
+    differential check do not share the code under test.
+    """
+    bz = b == 0
+    safe = np.where(bz, 1, b)
+    q = np.trunc(a.astype(np.float64) / safe.astype(np.float64))
+    return np.where(bz, 0, q).astype(a.dtype)
+
+
+def _f32_newton_div(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """The lowering's non-fast-math f32 division, step for step."""
+    rcp = (1.0 / b).astype(np.float32)
+    err = (-b) * rcp + np.float32(1.0)
+    rcp2 = rcp * err + rcp
+    q = a * rcp2
+    rem = (-q) * b + a
+    return rem * rcp2 + q
+
+
+class _Machine:
+    def __init__(self, program):
+        self.tc = program.tc
+        self.bc = program.bc
+        self.threads = program.tc * program.bc
+        self.params: dict = {}
+        self.mem: dict = {}
+        for name, v in program.inputs.items():
+            if isinstance(v, np.ndarray):
+                self.mem[name] = v.copy()
+            else:
+                self.params[name] = int(v)
+        self.smem = {
+            name: np.zeros((self.bc, count), _NP[dt])
+            for name, count, dt in program.spec.smem_arrays
+        }
+        g = np.arange(self.threads, dtype=np.int64)
+        self.block_row = (g // self.tc).astype(np.int64)
+        self.gtid = g.astype(np.int32)
+        self.locals: dict = {}
+
+    # -- expressions ---------------------------------------------------
+
+    def eval(self, e: Expr, mask: np.ndarray) -> np.ndarray:
+        if isinstance(e, IntConst):
+            return np.full(self.threads, e.value, _NP[e.dtype])
+        if isinstance(e, FloatConst):
+            return np.full(self.threads, e.value, _NP[e.dtype])
+        if isinstance(e, VarRef):
+            if e.name in self.locals:
+                return self.locals[e.name]
+            if e.name in self.params:
+                return np.full(self.threads, self.params[e.name],
+                               _NP[e.dtype])
+            raise ReferenceError(f"unbound variable {e.name!r}")
+        if isinstance(e, Load):
+            return self._load(e, mask)
+        if isinstance(e, BinOp):
+            with np.errstate(all="ignore"):
+                return self._binop(e, mask)
+        if isinstance(e, UnaryOp):
+            v = self.eval(e.operand, mask)
+            with np.errstate(all="ignore"):
+                return np.abs(v) if e.op == "abs" else -v
+        if isinstance(e, Cast):
+            v = self.eval(e.operand, mask)
+            with np.errstate(all="ignore"):
+                return v.astype(_NP[e.to])
+        if isinstance(e, Cmp):
+            lv = self.eval(e.left, mask)
+            rv = self.eval(e.right, mask)
+            # the lowering coerces both comparands to a joint work type
+            # before SETP; mirror it (a no-op for same-dtype operands)
+            if lv.dtype.kind == "f" or rv.dtype.kind == "f":
+                joint = (np.float64 if np.float64 in (lv.dtype, rv.dtype)
+                         else np.float32)
+            else:
+                joint = (np.int64 if np.int64 in (lv.dtype, rv.dtype)
+                         else np.int32)
+            lv = lv.astype(joint)
+            rv = rv.astype(joint)
+            with np.errstate(invalid="ignore"):
+                return {
+                    "lt": lv < rv, "le": lv <= rv, "gt": lv > rv,
+                    "ge": lv >= rv, "eq": lv == rv, "ne": lv != rv,
+                }[e.op]
+        if isinstance(e, BoolOp):
+            lv = self.eval(e.left, mask)
+            rv = self.eval(e.right, mask)
+            return (lv & rv) if e.op == "and" else (lv | rv)
+        if isinstance(e, NotOp):
+            return ~self.eval(e.operand, mask)
+        raise ReferenceError(f"cannot evaluate {type(e).__name__}")
+
+    def _binop(self, e: BinOp, mask: np.ndarray) -> np.ndarray:
+        a = self.eval(e.left, mask)
+        b = self.eval(e.right, mask)
+        op = e.op
+        if op == "+":
+            # the lowering fuses c + a*b into FMA(a, b, c), which the
+            # emulator evaluates as (a*b) + c -- operand order is
+            # observable in NaN payload propagation, so mirror it when
+            # only the right side is a product (left side wins the
+            # fusion otherwise, matching the written order)
+            if (isinstance(e.right, BinOp) and e.right.op == "*"
+                    and not (isinstance(e.left, BinOp)
+                             and e.left.op == "*")):
+                return b + a
+            return a + b
+        if op == "-":
+            return a - b
+        if op == "*":
+            return a * b
+        if op == "min":
+            return np.minimum(a, b)
+        if op == "max":
+            return np.maximum(a, b)
+        if op == "/":
+            if e.dtype.is_float:
+                return _f32_newton_div(a, b)
+            return _trunc_div(a, b)
+        if op == "//":
+            if e.dtype.is_float:
+                raise ReferenceError("float // is outside the fragment")
+            return _trunc_div(a, b)
+        if op == "%":
+            if e.dtype.is_float:
+                raise ReferenceError("float % is outside the fragment")
+            return a - _trunc_div(a, b) * b
+        raise ReferenceError(f"unknown binop {op!r}")
+
+    def _indices(self, e: Expr, mask: np.ndarray) -> np.ndarray:
+        idx = self.eval(e, mask).astype(np.int64)
+        # inactive lanes may hold stale/out-of-range indices; they are
+        # never observed, so pin them to a safe slot
+        return np.where(mask, idx, 0)
+
+    def _load(self, e: Load, mask: np.ndarray) -> np.ndarray:
+        idx = self._indices(e.index, mask)
+        if e.array in self.smem:
+            v = self.smem[e.array][self.block_row, idx].copy()
+        else:
+            v = self.mem[e.array][idx].copy()
+        v[~mask] = 0
+        return v
+
+    # -- statements ----------------------------------------------------
+
+    def _write_local(self, name: str, value: np.ndarray,
+                     mask: np.ndarray) -> None:
+        if name not in self.locals:
+            self.locals[name] = np.zeros(self.threads, value.dtype)
+        reg = self.locals[name]
+        reg[mask] = value.astype(reg.dtype)[mask]
+
+    def run_block(self, stmts, mask: np.ndarray) -> None:
+        for s in stmts:
+            self.exec_stmt(s, mask)
+
+    def exec_stmt(self, s, mask: np.ndarray) -> None:
+        if isinstance(s, Assign):
+            self._write_local(s.var, self.eval(s.expr, mask), mask)
+            return
+        if isinstance(s, Store):
+            idx = self._indices(s.index, mask)
+            val = self.eval(s.value, mask)
+            if s.array in self.smem:
+                plane = self.smem[s.array]
+                plane[self.block_row[mask], idx[mask]] = (
+                    val.astype(plane.dtype)[mask]
+                )
+            else:
+                arr = self.mem[s.array]
+                arr[idx[mask]] = val.astype(arr.dtype)[mask]
+            return
+        if isinstance(s, AtomicAdd):
+            idx = self._indices(s.index, mask)
+            val = self.eval(s.value, mask)
+            if s.array in self.smem:
+                plane = self.smem[s.array]
+                np.add.at(plane, (self.block_row[mask], idx[mask]),
+                          val.astype(plane.dtype)[mask])
+            else:
+                arr = self.mem[s.array]
+                np.add.at(arr, idx[mask], val.astype(arr.dtype)[mask])
+            return
+        if isinstance(s, If):
+            cond = self.eval(s.cond, mask).astype(bool)
+            self.run_block(s.then_body, mask & cond)
+            self.run_block(s.else_body, mask & ~cond)
+            return
+        if isinstance(s, For):
+            if s.parallel:
+                raise ReferenceError("nested parallel loop")
+            self._run_seq_loop(s, mask)
+            return
+        if isinstance(s, Sync):
+            # a pure sequence point here: the generator's barrier
+            # invariants (uniform trip counts, own-slot stores) make the
+            # lockstep order a legal schedule
+            return
+        raise ReferenceError(f"cannot execute {type(s).__name__}")
+
+    def _run_seq_loop(self, s: For, mask: np.ndarray) -> None:
+        lo = self.eval(s.lower, mask).astype(np.int32)
+        hi = self.eval(s.upper, mask).astype(np.int32)  # bound read once
+        self._write_local(s.var, lo, mask)
+        iv = self.locals[s.var]
+        active = mask & (iv < hi)
+        spins = 0
+        while active.any():
+            self.run_block(s.body, active)
+            iv[active] += np.int32(s.step)
+            active = active & (iv < hi)
+            spins += 1
+            if spins > _LOOP_CAP:
+                raise ReferenceError(f"loop {s.var} exceeded {_LOOP_CAP}")
+
+    # -- driver --------------------------------------------------------
+
+    def run(self, spec) -> None:
+        tops = list(spec.body)
+        if len(tops) != 1 or not isinstance(tops[0], For) \
+                or not tops[0].parallel:
+            raise ReferenceError(
+                "fuzz programs are a single top-level parallel loop"
+            )
+        ploop = tops[0]
+        n = np.int32(self.params[ploop.upper.name]) \
+            if isinstance(ploop.upper, VarRef) else None
+        if n is None:
+            raise ReferenceError("parallel bound must be a parameter")
+        stride = np.int32(self.threads)
+        r = 0
+        while True:
+            with np.errstate(all="ignore"):
+                i_vals = (self.gtid + np.int32(r) * stride).astype(np.int32)
+            mask = i_vals < n
+            if not mask.any():
+                break
+            self._write_local(ploop.var, i_vals, np.ones_like(mask))
+            self.run_block(ploop.body, mask)
+            r += 1
+
+
+def reference_run(program) -> dict:
+    """Execute ``program`` on the reference machine; returns the final
+    global memory for every array, outputs included."""
+    m = _Machine(program)
+    m.run(program.spec)
+    return m.mem

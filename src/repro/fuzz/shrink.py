@@ -1,0 +1,208 @@
+"""Delta-debugging shrinker for failing fuzz programs.
+
+Greedy fixpoint reduction over the kernel AST: repeatedly apply the
+first structural simplification that keeps the program failing *with
+the same mismatch kind* (guarding against "slippage" onto an unrelated
+defect), until no candidate applies or the check budget runs out.
+
+Candidate moves, roughly largest-first:
+
+- delete a statement (at any nesting depth);
+- splice an ``If`` into its then- or else-arm, or drop the else arm;
+- splice a sequential ``For`` into its body with the loop variable
+  substituted by the lower bound (one unrolled iteration);
+- replace an ``Assign``'s expression by a same-dtype subexpression or
+  by a unit constant;
+- drop the block count to 1 (non-cooperative programs only: barrier
+  programs need ``N = tc*bc*rounds`` to stay lockstep).
+
+A final pass prunes arrays the shrunk kernel no longer references.
+Every accepted move re-runs the full three-way differential check, so a
+shrunk reproducer is failing by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.codegen.ast_nodes import (
+    ArrayParam,
+    Assign,
+    AtomicAdd,
+    BinOp,
+    BoolOp,
+    Cast,
+    Cmp,
+    Expr,
+    FloatConst,
+    For,
+    If,
+    IntConst,
+    KernelSpec,
+    Load,
+    NotOp,
+    Store,
+    UnaryOp,
+    stmt_exprs,
+    substitute_stmt,
+    walk_exprs,
+    walk_stmts,
+)
+from repro.fuzz.generator import FuzzProgram
+
+DEFAULT_MAX_CHECKS = 250
+
+
+def _expr_children(e: Expr):
+    if isinstance(e, (BinOp, Cmp, BoolOp)):
+        return [e.left, e.right]
+    if isinstance(e, (UnaryOp, NotOp, Cast)):
+        return [e.operand]
+    if isinstance(e, Load):
+        return [e.index]
+    return []
+
+
+def _expr_shrinks(e: Expr):
+    for child in _expr_children(e):
+        if child.dtype == e.dtype:
+            yield child
+    if not isinstance(e, (IntConst, FloatConst)):
+        yield (FloatConst(1.0) if e.dtype.is_float else IntConst(1))
+
+
+def _stmt_candidates(stmts: tuple):
+    """Yield simplified versions of one statement tuple (recursive)."""
+    for idx, s in enumerate(stmts):
+        head, tail = stmts[:idx], stmts[idx + 1:]
+        yield head + tail  # delete
+        if isinstance(s, If):
+            yield head + s.then_body + tail
+            if s.else_body:
+                yield head + s.else_body + tail
+                yield head + (replace(s, else_body=()),) + tail
+        if isinstance(s, For) and not s.parallel:
+            sub = tuple(
+                substitute_stmt(b, {s.var: s.lower}) for b in s.body
+            )
+            yield head + sub + tail
+        if isinstance(s, Assign):
+            for repl in _expr_shrinks(s.expr):
+                yield head + (replace(s, expr=repl),) + tail
+        if isinstance(s, If):
+            for nb in _stmt_candidates(s.then_body):
+                yield head + (replace(s, then_body=nb),) + tail
+            for nb in _stmt_candidates(s.else_body):
+                yield head + (replace(s, else_body=nb),) + tail
+        if isinstance(s, For):
+            for nb in _stmt_candidates(s.body):
+                yield head + (replace(s, body=nb),) + tail
+
+
+def _with_body(program: FuzzProgram, body: tuple) -> FuzzProgram | None:
+    ploop = program.spec.body[0]
+    try:
+        spec = KernelSpec(
+            name=program.spec.name,
+            params=program.spec.params,
+            body=(replace(ploop, body=body),),
+            smem_arrays=program.spec.smem_arrays,
+        )
+    except (ValueError, TypeError):
+        return None
+    return replace(program, spec=spec)
+
+
+def _is_cooperative(program: FuzzProgram) -> bool:
+    return bool(program.spec.smem_arrays)
+
+
+def _candidates(program: FuzzProgram):
+    body = program.spec.body[0].body
+    for nb in _stmt_candidates(body):
+        cand = _with_body(program, nb)
+        if cand is not None:
+            yield cand
+    if program.bc > 1 and not _is_cooperative(program):
+        yield replace(program, bc=1)
+
+
+def _prune_unused_arrays(program: FuzzProgram) -> FuzzProgram | None:
+    used = set()
+    for s in walk_stmts(program.spec.body):
+        if isinstance(s, (Store, AtomicAdd)):
+            used.add(s.array)
+        for e in stmt_exprs(s):
+            for node in walk_exprs(e):
+                if isinstance(node, Load):
+                    used.add(node.array)
+    params = tuple(
+        p for p in program.spec.params
+        if not isinstance(p, ArrayParam) or p.name in used
+    )
+    if len(params) == len(program.spec.params):
+        return None
+    try:
+        spec = KernelSpec(
+            name=program.spec.name, params=params,
+            body=program.spec.body,
+            smem_arrays=program.spec.smem_arrays,
+        )
+    except (ValueError, TypeError):
+        return None
+    keep = {p.name for p in params}
+    inputs = {k: v for k, v in program.inputs.items() if k in keep}
+    outputs = tuple(n for n in program.output_names if n in keep)
+    return replace(program, spec=spec, inputs=inputs,
+                   output_names=outputs)
+
+
+def _size(program: FuzzProgram) -> int:
+    n = 0
+    for s in walk_stmts(program.spec.body):
+        n += 1
+        for e in stmt_exprs(s):
+            n += sum(1 for _ in walk_exprs(e))
+    return n
+
+
+def shrink_program(
+    program: FuzzProgram,
+    check,
+    max_checks: int = DEFAULT_MAX_CHECKS,
+) -> FuzzProgram:
+    """Minimize ``program`` under ``check`` (``check(p) -> Mismatch|None``).
+
+    Returns the smallest failing program found; if the input does not
+    fail at all, it is returned unchanged.
+    """
+    baseline = check(program)
+    if baseline is None:
+        return program
+    kind = baseline.kind
+    checks = 1
+
+    def still_fails(cand) -> bool:
+        nonlocal checks
+        if checks >= max_checks:
+            return False
+        checks += 1
+        mm = check(cand)
+        return mm is not None and mm.kind == kind
+
+    current = program
+    progress = True
+    while progress and checks < max_checks:
+        progress = False
+        for cand in _candidates(current):
+            if _size(cand) >= _size(current) and cand.bc >= current.bc:
+                continue
+            if still_fails(cand):
+                current = cand
+                progress = True
+                break
+
+    pruned = _prune_unused_arrays(current)
+    if pruned is not None and still_fails(pruned):
+        current = pruned
+    return current

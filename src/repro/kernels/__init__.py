@@ -18,12 +18,22 @@ dot           reduction, memory-bound     out = x . y (smem tree +
                                           atomicAdd)
 gemver        memory-bound, multi-pass    rank-2 update + dependent
                                           matrix-vector passes
+spmv_csr      irregular, memory-bound     y = A x, CSR (data-dependent
+                                          row trip counts)
+histogram     irregular, reduction,       hist[keys[i]] += w[i]
+              memory-bound                (skew-tunable atomics)
+scan          irregular, memory-bound     tile-wise inclusive prefix
+                                          (Hillis-Steele in smem)
+compact       irregular, memory-bound     stable stream compaction
+                                          (rank loop + guarded scatter)
 ============  ==========================  ==========================
 
 The first four are the paper's Table IV set (what the paper experiments
 sweep by default); the rest are suite extensions selectable by tag via
 :func:`list_benchmarks` and driven end to end by the ``suite``
-experiment.  Each benchmark bundles: the kernel spec(s) in the loop-nest
+experiment.  The ``irregular`` quartet leaves the affine world the
+closed-form counting substrate was built for; see
+:mod:`repro.kernels.spmv_csr` for the input-aware counting story.  Each benchmark bundles: the kernel spec(s) in the loop-nest
 DSL (the form Orio transforms), a NumPy reference implementation used to
 validate the emulator, an input generator, the problem sizes swept, and
 its corpus tags.
@@ -38,13 +48,17 @@ from repro.kernels.base import (
 )
 from repro.kernels import atax, bicg, ex14fj, matvec2d  # noqa: F401  (register)
 from repro.kernels import (  # noqa: F401  (suite extension kernels)
+    compact,
     dot,
     gemm,
     gemver,
     gesummv,
+    histogram,
     jacobi2d,
     matvec_smem,
     mvt,
+    scan,
+    spmv_csr,
 )
 
 __all__ = [

@@ -24,6 +24,7 @@ TAGS = frozenset({
     "stencil",
     "reduction",
     "multi-pass",
+    "irregular",
 })
 """The corpus tag taxonomy.
 
@@ -35,9 +36,16 @@ TAGS = frozenset({
 ``stencil``
     Neighbourhood reads with halo/boundary handling (ex14FJ, jacobi2d).
 ``reduction``
-    Cross-thread combining via shared memory and/or atomics (dot).
+    Cross-thread combining via shared memory and/or atomics (dot,
+    histogram).
 ``multi-pass``
     Several dependent kernel launches per run (atax, BiCG, mvt, gemver).
+``irregular``
+    Workloads beyond the affine Table IV shape: data-dependent trip
+    counts, guards, or store/atomic targets loaded from the inputs
+    (spmv_csr, histogram, compact), plus the round-by-round divergent
+    cooperative prefix scan -- where static counting degrades and the
+    emulator is the ground truth.
 """
 
 DEFAULT_EMU_LAUNCH = (32, 4)
@@ -182,6 +190,24 @@ BENCHMARKS: dict[str, Benchmark] = {}
 def register(benchmark: Benchmark) -> Benchmark:
     if benchmark.name in BENCHMARKS:
         raise ValueError(f"duplicate benchmark {benchmark.name!r}")
+    if benchmark.emulation_launch is None:
+        from repro.codegen.ast_nodes import Sync, walk_stmts
+
+        for spec in benchmark.specs:
+            cooperative = bool(spec.smem_arrays) or any(
+                isinstance(s, Sync) for s in walk_stmts(spec.body)
+            )
+            if cooperative:
+                raise ValueError(
+                    f"benchmark {benchmark.name!r}: kernel {spec.name!r} "
+                    "uses bar.sync / __shared__ arrays but declares no "
+                    "emulation_launch; the default launch would violate its "
+                    "cooperative constraints and every emulator-backed "
+                    "consumer (suite ground truth, corpus validation) would "
+                    "fail or silently skip it. Declare emulation_launch="
+                    "lambda n: (tc, bc) satisfying its barrier/tile "
+                    "constraints."
+                )
     BENCHMARKS[benchmark.name] = benchmark
     return benchmark
 

@@ -1,0 +1,96 @@
+"""compact: stream compaction -- data-dependent guard + scatter.
+
+Copies the flagged elements of ``data`` to the front of ``out``, stable:
+each thread computes its output rank by counting the kept flags before
+its index (a triangular ``O(N^2)`` rank loop whose per-lane trip count
+is the thread index itself), then a *data-dependent* guard -- the flag
+loaded from memory -- decides whether the thread scatters and bumps the
+global kept-count.  The guard's arm is deliberately heavy enough to
+defeat if-conversion, so this is a real divergent branch whose taken
+mask is a property of the input, and the scatter target (the rank) is a
+computed, data-dependent store index -- unique per kept element, so the
+compaction is race-free without needing a fetch-add.
+
+The rank loop is hoisted *outside* the guard so its triangular trip
+count stays exactly countable (mean ``(N-1)/2`` over the parallel
+domain); the rank increment inside it is a single predicated assign, so
+it contributes no branch region either.  What the static path cannot
+know is the guard fraction: input-aware counting (flags bound in the
+environment) recovers it exactly, scalar-only counting falls back to
+0.5.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.codegen import dsl
+from repro.kernels.base import Benchmark, register
+
+N = dsl.sparam("N")
+flags = dsl.farray("flags", "s32")
+data = dsl.farray("data")
+out = dsl.farray("out")
+nkept = dsl.farray("nkept")
+
+_i = dsl.ivar("i")
+_j = dsl.ivar("j")
+_rank = dsl.ivar("rank")
+
+COMPACT_K = dsl.kernel(
+    "compact",
+    params=[N, flags, data, out, nkept],
+    body=[
+        dsl.pfor(_i, N, [
+            dsl.assign("rank", dsl.i32(0)),
+            dsl.sfor(_j, _i, [
+                # single assign: if-converted, no branch region
+                dsl.when(flags[_j].ne(0), [dsl.assign("rank", _rank + 1)]),
+            ]),
+            # heavy arm: a real divergent branch on loaded data
+            dsl.when(flags[_i].ne(0), [
+                out.store(_rank, data[_i]),
+                nkept.atomic_add(0, dsl.f32(1.0)),
+            ]),
+        ]),
+    ],
+)
+
+KEEP_FRACTION = 0.35
+
+
+def make_inputs(n: int, rng: np.random.Generator,
+                keep: float = KEEP_FRACTION) -> dict:
+    return {
+        "N": n,
+        "flags": (rng.random(n) < keep).astype(np.int32),
+        "data": rng.standard_normal(n).astype(np.float32),
+        "out": np.zeros(n, dtype=np.float32),
+        "nkept": np.zeros(1, dtype=np.float32),
+    }
+
+
+def reference(inputs: dict) -> dict:
+    kept = inputs["flags"] != 0
+    out = np.zeros_like(inputs["data"])
+    out[: int(kept.sum())] = inputs["data"][kept]
+    return {
+        "out": out,
+        "nkept": np.array([kept.sum()], dtype=np.float32),
+    }
+
+
+COMPACT = register(
+    Benchmark(
+        name="compact",
+        description="Stable stream compaction via per-thread rank counting "
+                    "(data-dependent guard + scatter)",
+        specs=(COMPACT_K,),
+        make_inputs=make_inputs,
+        reference=reference,
+        sizes=(64, 128, 192, 256, 384),
+        param_env=lambda n: {"N": n},
+        output_names=("out", "nkept"),
+        tags=("irregular", "memory-bound"),
+    )
+)

@@ -1,0 +1,72 @@
+"""histogram: hist[keys[i]] += w[i] -- atomics contention via key skew.
+
+The irregular corpus's *contention* member: every thread issues one
+global ``atomicAdd`` whose target bin is loaded from the input, so the
+conflict structure -- how many lanes of a warp hit the same bin -- is a
+property of the data, not the code.  ``make_inputs`` draws keys from a
+Zipf distribution truncated to :data:`BINS` bins; the ``skew`` keyword
+(default 1.5) tunes the contention from near-uniform (large exponents
+concentrate everything in bin 0) and the fuzz/equivalence tests sweep
+it.  This is exactly the shape the vectorized emulator's deferred
+atomic-replay machinery must order correctly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.codegen import dsl
+from repro.kernels.base import Benchmark, register
+
+BINS = 64
+DEFAULT_SKEW = 1.5
+
+N = dsl.sparam("N")
+keys = dsl.farray("keys", "s32")
+w = dsl.farray("w")
+hist = dsl.farray("hist")
+
+_i = dsl.ivar("i")
+
+HIST_K = dsl.kernel(
+    "histogram",
+    params=[N, keys, w, hist],
+    body=[
+        dsl.pfor(_i, N, [
+            hist.atomic_add(keys[_i], w[_i]),
+        ]),
+    ],
+)
+
+
+def make_inputs(n: int, rng: np.random.Generator,
+                skew: float = DEFAULT_SKEW) -> dict:
+    raw = rng.zipf(skew, n)
+    return {
+        "N": n,
+        "keys": ((raw - 1) % BINS).astype(np.int32),
+        "w": rng.standard_normal(n).astype(np.float32),
+        "hist": np.zeros(BINS, dtype=np.float32),
+    }
+
+
+def reference(inputs: dict) -> dict:
+    out = np.zeros(BINS, dtype=np.float64)
+    np.add.at(out, inputs["keys"], inputs["w"].astype(np.float64))
+    return {"hist": out.astype(np.float32)}
+
+
+HISTOGRAM = register(
+    Benchmark(
+        name="histogram",
+        description="Weighted 64-bin histogram via global atomicAdd "
+                    "(contention set by key skew)",
+        specs=(HIST_K,),
+        make_inputs=make_inputs,
+        reference=reference,
+        sizes=(256, 512, 1024, 2048, 4096),
+        param_env=lambda n: {"N": n},
+        output_names=("hist",),
+        tags=("irregular", "reduction", "memory-bound"),
+    )
+)

@@ -1,0 +1,123 @@
+"""scan: tile-wise inclusive prefix sum -- Hillis-Steele in shared memory.
+
+Block-level prefix over consecutive 128-element tiles: each tile stages
+its inputs in a ``__shared__`` buffer, then runs seven Hillis-Steele
+doubling rounds (``xs[lane] += xs[lane - stride]`` for lanes past the
+stride) ping-ponging between two shared buffers behind ``bar.sync``.
+Unlike dot's tree reduction, the *taken fraction* of each round's guard
+grows from 127/128 down the rounds' strides, so warps spend most rounds
+fully diverged one way or the other -- a different divergence profile
+per round, all with useful work in both arms (the not-taken lanes copy
+their slot forward).
+
+Same cooperative constraints as dot (documented there): correct only
+with ``TC == 128`` and ``N % (TC*BC) == 0`` so every warp reaches every
+barrier the same number of times; sizes are multiples of 512 and the
+emulation launch is ``(128, 4)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.codegen import dsl
+from repro.codegen.ast_nodes import Load, Store
+from repro.kernels.base import Benchmark, register
+from repro.ptx.isa import DType
+
+TILE = 128
+
+N = dsl.sparam("N")
+x = dsl.farray("x")
+out = dsl.farray("out")
+
+_i = dsl.ivar("i")
+_lane = dsl.ivar("lane")
+
+
+def _buf(name, index):
+    return Load(name, dsl._as_expr(index), DType.F32)
+
+
+def _doubling_rounds():
+    """Seven ping-ponged Hillis-Steele rounds, each behind a barrier.
+
+    Guards are over the loop variable (``i % TILE``), as in dot, so the
+    closed-form counting substrate evaluates the fractions exactly.
+    """
+    steps = []
+    src, dst = "sa", "sb"
+    stride = 1
+    while stride < TILE:
+        steps.append(dsl.when(
+            (_i % TILE).ge(stride),
+            [Store(dst, _lane, _buf(src, _lane) + _buf(src, _lane - stride))],
+            [Store(dst, _lane, _buf(src, _lane))],
+        ))
+        steps.append(dsl.sync())
+        src, dst = dst, src
+        stride *= 2
+    return steps, src  # src now names the buffer holding the result
+
+
+_ROUNDS, _RESULT = _doubling_rounds()
+
+SCAN_K = dsl.kernel(
+    "scan",
+    params=[N, x, out],
+    body=[
+        dsl.pfor(_i, N, [
+            dsl.assign("lane", _i % TILE),
+            Store("sa", _lane, x[_i]),
+            dsl.sync(),
+            *_ROUNDS,
+            out.store(_i, _buf(_RESULT, _lane)),
+            dsl.sync(),
+        ]),
+    ],
+    smem_arrays=(("sa", TILE, DType.F32), ("sb", TILE, DType.F32)),
+)
+
+
+def tuning_space():
+    """Table III with TC restricted to tile multiples and UIF pinned."""
+    from repro.autotune.spec import default_tuning_spec
+
+    return (
+        default_tuning_spec()
+        .restrict("TC", tuple(range(TILE, 1025, TILE)))
+        .restrict("UIF", (1,))
+    )
+
+
+def make_inputs(n: int, rng: np.random.Generator) -> dict:
+    if n % (TILE * 4):
+        raise ValueError(f"scan requires N % {TILE * 4} == 0, got {n}")
+    return {
+        "N": n,
+        "x": rng.standard_normal(n).astype(np.float32),
+        "out": np.zeros(n, dtype=np.float32),
+    }
+
+
+def reference(inputs: dict) -> dict:
+    tiles = inputs["x"].astype(np.float64).reshape(-1, TILE)
+    return {"out": np.cumsum(tiles, axis=1).reshape(-1).astype(np.float32)}
+
+
+SCAN = register(
+    Benchmark(
+        name="scan",
+        description="Tile-wise inclusive prefix sum "
+                    "(Hillis-Steele doubling in shared memory)",
+        specs=(SCAN_K,),
+        make_inputs=make_inputs,
+        reference=reference,
+        sizes=(512, 1024, 2048, 4096, 8192),
+        param_env=lambda n: {"N": n},
+        output_names=("out",),
+        tags=("irregular", "memory-bound"),
+        tuning_space=tuning_space,
+        emulation_launch=lambda n: (TILE, 4),
+    )
+)

@@ -1,0 +1,96 @@
+"""spmv_csr: y = A x with A in CSR form -- data-dependent trip counts.
+
+The first *irregular* corpus member: each row's inner loop runs
+``rowptr[r+1] - rowptr[r]`` iterations, a bound the kernel loads from
+memory, so neighbouring lanes of a warp run different trip counts and
+the warp serializes on the loop latch.  Row lengths are drawn from a
+geometric distribution (mean ~8, with empty rows), so the latch
+divergence is real, not an artifact of one outlier row.
+
+The closed-form counting substrate stays exact *when the input arrays
+are bound in the environment* (the suite's emulator ground-truth
+comparison binds them); with scalar parameters only, trip counts fall
+back to :data:`repro.codegen.regions.DATA_DEP_TRIPS_DEFAULT` -- the
+static analyzer's documented blind spot this member exists to measure.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.codegen import dsl
+from repro.kernels.base import Benchmark, register
+
+R = dsl.sparam("R")
+rowptr = dsl.farray("rowptr", "s32")
+colidx = dsl.farray("colidx", "s32")
+vals = dsl.farray("vals")
+x = dsl.farray("x")
+y = dsl.farray("y")
+
+_r = dsl.ivar("r")
+_k = dsl.ivar("k")
+_acc = dsl.var("acc", "f32")
+
+SPMV_K = dsl.kernel(
+    "spmv_csr",
+    params=[R, rowptr, colidx, vals, x, y],
+    body=[
+        dsl.pfor(_r, R, [
+            dsl.assign("acc", dsl.f32(0.0)),
+            dsl.sfor(_k, rowptr[_r + 1], [
+                dsl.assign("acc", _acc + vals[_k] * x[colidx[_k]]),
+            ], lower=rowptr[_r]),
+            y.store(_r, _acc),
+        ]),
+    ],
+)
+
+MEAN_NNZ = 8
+
+
+def make_inputs(n: int, rng: np.random.Generator) -> dict:
+    """A random n x n CSR matrix with geometric row lengths."""
+    lens = rng.geometric(1.0 / MEAN_NNZ, n) - 1  # >= 0, mean ~7, empty rows
+    lens = np.minimum(lens, n)
+    if lens.sum() == 0:
+        lens[0] = 1
+    rp = np.zeros(n + 1, dtype=np.int32)
+    np.cumsum(lens, out=rp[1:])
+    nnz = int(rp[-1])
+    return {
+        "R": n,
+        "rowptr": rp,
+        "colidx": rng.integers(0, n, nnz).astype(np.int32),
+        "vals": rng.standard_normal(nnz).astype(np.float32),
+        "x": rng.standard_normal(n).astype(np.float32),
+        "y": np.zeros(n, dtype=np.float32),
+    }
+
+
+def reference(inputs: dict) -> dict:
+    rp = inputs["rowptr"].astype(np.int64)
+    rows = np.repeat(np.arange(rp.size - 1), np.diff(rp))
+    prods = (
+        inputs["vals"].astype(np.float64)
+        * inputs["x"].astype(np.float64)[inputs["colidx"]]
+    )
+    out = np.zeros(rp.size - 1, dtype=np.float64)
+    np.add.at(out, rows, prods)
+    return {"y": out.astype(np.float32)}
+
+
+SPMV = register(
+    Benchmark(
+        name="spmv_csr",
+        description="CSR sparse matrix-vector product "
+                    "(data-dependent row trip counts)",
+        specs=(SPMV_K,),
+        make_inputs=make_inputs,
+        reference=reference,
+        sizes=(64, 128, 256, 512, 1024),
+        param_env=lambda n: {"R": n},
+        output_names=("y",),
+        tags=("irregular", "memory-bound"),
+    )
+)

@@ -13,9 +13,14 @@ The results agree with the warp emulator (asserted in tests) but cost
 microseconds at any problem size, which is what lets the timing model stand
 in for 5,120-variant empirical sweeps.
 
-Restriction: branch conditions must be expressions over loop variables and
-kernel scalar parameters (data-dependent branches would need real
-emulation).  All Table IV benchmarks satisfy this.
+Data-dependent control flow (CSR row extents, skewed histogram keys,
+compaction guards) is supported *input-aware*: bind the concrete input
+arrays in ``env`` alongside the scalar parameters and branch conditions /
+loop bounds that load from them evaluate exactly (vectorized gathers).
+Without the arrays, branch fractions fall back to the static 0.5
+assumption and data-dependent trip counts to
+:data:`repro.codegen.regions.DATA_DEP_TRIPS_DEFAULT` -- the same
+degradation story the paper's static analyzer lives with.
 """
 
 from __future__ import annotations
@@ -43,11 +48,16 @@ def exact_branch_fraction(region: Region, env: dict, loop_stack: list) -> float:
     """Exact execution fraction of one branch arm over its loop domain.
 
     For a THEN region this is the probability that the condition holds;
-    for an ELSE region, its complement.
+    for an ELSE region, its complement.  Conditions whose data is absent
+    from ``env`` (data-dependent branches without the input arrays bound)
+    fall back to the static 0.5 assumption.
     """
     from repro.codegen.regions import RegionKind
 
-    f = _cond_fraction(region, env, loop_stack)
+    try:
+        f = _cond_fraction(region, env, loop_stack)
+    except (KeyError, TypeError):
+        f = 0.5
     if region.kind is RegionKind.ELSE:
         return 1.0 - f
     return f
@@ -118,7 +128,14 @@ evaluation for e.g. ex14FJ's N^3 boundary predicate) runs once per
 
 
 def _env_key(env: dict) -> tuple:
-    return tuple(sorted((k, float(v)) for k, v in env.items()))
+    parts = []
+    for k in sorted(env):
+        v = env[k]
+        if isinstance(v, np.ndarray):
+            parts.append((k, v.dtype.str, v.shape, hash(v.tobytes())))
+        else:
+            parts.append((k, float(v)))
+    return tuple(parts)
 
 
 def _combine(at0: DynamicCounts, at1: DynamicCounts,

@@ -76,6 +76,26 @@ class _ReplaySpeculationFailed(Exception):
     """Internal: a deferred atomic's target was also loaded/stored."""
 
 
+_FAULT_HOOK = None
+
+
+def set_fault_hook(fn) -> None:
+    """Install a test-only fault on the stacked arithmetic tail.
+
+    ``fn(opcode, instruction, value) -> value`` intercepts the result of
+    every generic arithmetic instruction on the vectorized path *only*
+    (the scalar path and the structural opcodes -- loads, stores, SETP,
+    CVT, MULWIDE -- are untouched), so a mutation-testing harness can
+    inject a silent wrong-value defect and assert the differential
+    fuzzer detects the scalar/vector disagreement.  Hooks must perturb
+    values, never raise: an exception here would trigger the
+    snapshot-restore scalar fallback and mask the mutation.  Pass
+    ``None`` to uninstall.
+    """
+    global _FAULT_HOOK
+    _FAULT_HOOK = fn
+
+
 def has_global_atomics(ck: CompiledKernel) -> bool:
     """Whether the kernel issues global atomic reductions (the
     instruction whose cross-warp execution order is observable)."""
@@ -496,6 +516,8 @@ class _StackedRun(_KernelRun):
         dt = _NP_DTYPE[ins.dtype] if ins.dtype else None
         with np.errstate(all="ignore"):
             val = self._arith(op, ins, srcs, dt)
+        if _FAULT_HOOK is not None:
+            val = _FAULT_HOOK(op, ins, val)
         state.write(ins.dst, val, em)
 
     # -- shared memory -------------------------------------------------

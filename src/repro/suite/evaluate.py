@@ -8,6 +8,8 @@ sharded and cache-served exactly like the paper experiments.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.arch.specs import GPUSpec
 from repro.arch.throughput import PipeClass
 from repro.autotune.measure import Measurer
@@ -101,6 +103,10 @@ def emulator_ground_truth(benchmark: Benchmark, module, size: int) -> dict:
     tc, bc = benchmark.emu_launch(size)
     _outs, emu = run_benchmark_emulated(module, inputs, tc=tc, bc=bc)
     env = benchmark.param_env(size)
+    # bind the concrete input arrays so the counting substrate evaluates
+    # data-dependent trip counts and guards exactly (input-aware mode);
+    # the irregular members' count_err stays ~0 only through this
+    env.update({k: v for k, v in inputs.items() if isinstance(v, np.ndarray)})
     totals: dict = {}
     for ck in module:
         for cat, v in exact_counts(ck, env, tc, bc).by_category.items():

@@ -1,0 +1,207 @@
+"""The differential fuzzing harness.
+
+Three layers: the always-on corpus replay (minimized reproducers from
+past campaigns must keep passing bit-identically), the budgeted random
+campaign itself (marked ``fuzz``; ``REPRO_FUZZ_BUDGET`` scales it, CI's
+nightly schedule runs 10x), and the harness's own machinery -- generator
+determinism, reference independence, serialization round-trips, the
+delta-debugging shrinker, and the mutation smoke test proving the
+differential check actually detects an injected vector-path defect.
+"""
+
+import glob
+import os
+
+import numpy as np
+import pytest
+
+from repro.fuzz import (
+    CampaignResult,
+    Mismatch,
+    check_program,
+    fuzz_budget,
+    generate_program,
+    load_program,
+    program_from_json,
+    program_to_json,
+    reference_run,
+    run_fuzz_campaign,
+    shrink_program,
+)
+from repro.codegen.ast_nodes import AtomicAdd, walk_stmts
+from repro.sim.vector import set_fault_hook
+
+CORPUS_DIR = os.path.join(os.path.dirname(__file__), "fuzz_corpus")
+CORPUS_FILES = sorted(glob.glob(os.path.join(CORPUS_DIR, "*.json")))
+
+
+@pytest.fixture(autouse=True)
+def _no_leftover_fault_hook():
+    yield
+    set_fault_hook(None)
+
+
+class TestCorpusReplay:
+    """Minimized reproducers are permanent regression locks: every file
+    must replay through the full three-way check with zero diffs."""
+
+    def test_corpus_is_populated(self):
+        assert len(CORPUS_FILES) >= 3
+
+    @pytest.mark.parametrize(
+        "path", CORPUS_FILES, ids=[os.path.basename(p) for p in CORPUS_FILES]
+    )
+    def test_reproducer_replays_clean(self, path):
+        program = load_program(path)
+        mismatch = check_program(program)
+        assert mismatch is None, str(mismatch)
+
+
+class TestGenerator:
+    def test_deterministic(self):
+        a, b = generate_program(42), generate_program(42)
+        assert program_to_json(a) == program_to_json(b)
+        assert str(a.spec) == str(b.spec)
+
+    def test_seeds_differ(self):
+        assert str(generate_program(1).spec) != str(generate_program(2).spec)
+
+    def test_barrier_programs_are_lockstep(self):
+        # every barrier program must launch with N a multiple of tc*bc
+        found = 0
+        for seed in range(60):
+            p = generate_program(seed)
+            if p.spec.smem_arrays:
+                found += 1
+                assert p.n % (p.tc * p.bc) == 0
+        assert found > 0
+
+    def test_fresh_inputs_are_copies(self):
+        p = generate_program(3)
+        one, two = p.fresh_inputs(), p.fresh_inputs()
+        one["out"][:] = 7.0
+        assert not np.any(two["out"])
+
+
+class TestReference:
+    def test_masked_tail_unwritten(self):
+        # lanes with i >= N must leave out[] slots untouched -- run a
+        # strided program and check the reference wrote exactly [0, N)
+        for seed in range(30):
+            p = generate_program(seed)
+            if p.note == "strided" and p.n % p.tc:
+                mem = reference_run(p)
+                assert mem["out"].shape == (p.n,)
+                return
+        pytest.skip("no strided program with a ragged tail in range")
+
+    def test_agrees_with_emulator_on_fixed_seeds(self):
+        for seed in (0, 17, 839):
+            assert check_program(generate_program(seed)) is None
+
+
+class TestSerialization:
+    @pytest.mark.parametrize("seed", (0, 5, 839))
+    def test_roundtrip(self, seed):
+        p = generate_program(seed)
+        q = program_from_json(program_to_json(p))
+        assert str(p.spec) == str(q.spec)
+        assert (p.tc, p.bc, p.output_names) == (q.tc, q.bc, q.output_names)
+        for name, v in p.inputs.items():
+            if isinstance(v, np.ndarray):
+                assert v.tobytes() == q.inputs[name].tobytes()
+                assert v.dtype == q.inputs[name].dtype
+            else:
+                assert v == q.inputs[name]
+
+    def test_unknown_schema_rejected(self):
+        doc = program_to_json(generate_program(0))
+        doc["schema"] = 99
+        with pytest.raises(ValueError, match="unknown fuzz schema"):
+            program_from_json(doc)
+
+
+class TestShrinker:
+    def _atomic_program(self):
+        for seed in range(40):
+            p = generate_program(seed)
+            if any(isinstance(s, AtomicAdd)
+                   for s in walk_stmts(p.spec.body)):
+                return p
+        raise AssertionError("no atomic program in seed range")
+
+    def test_minimizes_to_the_triggering_statement(self):
+        # synthetic defect: "fails whenever an atomicAdd is present" --
+        # the shrinker must strip everything else away
+        program = self._atomic_program()
+
+        def fake_check(p):
+            if any(isinstance(s, AtomicAdd) for s in walk_stmts(p.spec.body)):
+                return Mismatch("synthetic", "has atomic", p)
+            return None
+
+        small = shrink_program(program, fake_check, max_checks=400)
+        assert fake_check(small) is not None
+        body = small.spec.body[0].body
+        assert len(body) == 1 and isinstance(body[0], AtomicAdd)
+        # unused arrays were pruned from params and inputs alike
+        assert set(p.name for p in small.spec.params) == \
+            {n for n in small.inputs}
+        assert len(small.spec.params) < len(program.spec.params)
+
+    def test_passing_program_returned_unchanged(self):
+        p = generate_program(0)
+        assert shrink_program(p, lambda _: None) is p
+
+
+class TestCampaign:
+    def test_budget_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FUZZ_BUDGET", "3")
+        assert fuzz_budget() == 3
+        result = run_fuzz_campaign()
+        assert result.programs == 3 and result.ok
+        assert "no mismatches" in result.summary()
+
+    def test_failure_summary_names_seeds(self):
+        r = CampaignResult(programs=2)
+        r.failures.append(
+            Mismatch("counter", "x", generate_program(1))
+        )
+        assert "seeds: [1]" in r.summary()
+
+    @pytest.mark.fuzz
+    def test_default_budget_campaign_is_clean(self):
+        # failures are shrunk and dumped next to the curated corpus so
+        # the CI artifact upload ships ready-made regression locks
+        result = run_fuzz_campaign(corpus_dir=CORPUS_DIR)
+        assert result.programs == fuzz_budget()
+        assert result.ok, "\n\n".join(str(m) for m in result.failures)
+
+
+class TestMutationSmoke:
+    """Inject a silent wrong-value defect into the vectorized path and
+    prove the differential campaign catches it within a small budget --
+    the fuzzer's own end-to-end detection guarantee."""
+
+    def test_injected_fault_is_detected(self):
+        def mutant(op, ins, val):
+            arr = np.asarray(val)
+            if arr.dtype == np.float32:
+                return arr + np.float32(0.25)
+            return val
+
+        set_fault_hook(mutant)
+        try:
+            result = run_fuzz_campaign(
+                budget=10, do_shrink=False, max_failures=1
+            )
+        finally:
+            set_fault_hook(None)
+        assert not result.ok
+        kinds = {m.kind for m in result.failures}
+        assert kinds & {"memory:scalar-vs-vector", "counter", "result"}, kinds
+
+    def test_hook_removal_restores_agreement(self):
+        set_fault_hook(lambda op, ins, val: val)
+        set_fault_hook(None)
+        assert check_program(generate_program(0)) is None

@@ -21,11 +21,13 @@ from repro.util.rng import rng_for
 
 EXPECTED_SUBSETS = {
     "memory-bound": {"atax", "bicg", "matvec2d", "matvec_smem", "mvt",
-                     "gesummv", "jacobi2d", "dot", "gemver"},
+                     "gesummv", "jacobi2d", "dot", "gemver",
+                     "spmv_csr", "histogram", "scan", "compact"},
     "compute-bound": {"ex14fj", "gemm"},
     "stencil": {"ex14fj", "jacobi2d"},
-    "reduction": {"dot"},
+    "reduction": {"dot", "histogram"},
     "multi-pass": {"atax", "bicg", "mvt", "gemver"},
+    "irregular": {"spmv_csr", "histogram", "scan", "compact"},
 }
 
 
@@ -60,6 +62,24 @@ class TestTags:
                 sizes=atax.sizes, param_env=atax.param_env,
                 output_names=atax.output_names, tags=("turbo",),
             )
+
+    def test_cooperative_member_requires_emulation_launch(self):
+        """A barrier/smem kernel registered without an emulation-safe
+        launch must be rejected up front -- the default launch would
+        break its cooperative constraints and every emulator-backed
+        consumer (suite ground truth, corpus validation) downstream."""
+        from repro.kernels.base import register
+
+        dot_bm = get_benchmark("dot")
+        bad = Benchmark(
+            name="dot_unlaunchable", description="", specs=dot_bm.specs,
+            make_inputs=dot_bm.make_inputs, reference=dot_bm.reference,
+            sizes=dot_bm.sizes, param_env=dot_bm.param_env,
+            output_names=dot_bm.output_names, tags=("reduction",),
+        )
+        with pytest.raises(ValueError, match="emulation_launch"):
+            register(bad)
+        assert "dot_unlaunchable" not in BENCHMARKS
 
 
 @pytest.mark.parametrize("name", sorted(BENCHMARKS))
@@ -160,7 +180,7 @@ class TestCorpusSelection:
     def test_tag_union(self):
         names = {b.name for b in corpus_members(tags=["stencil",
                                                       "reduction"])}
-        assert names == {"ex14fj", "jacobi2d", "dot"}
+        assert names == {"ex14fj", "jacobi2d", "dot", "histogram"}
 
     def test_tag_and_kernel_intersection(self):
         members = corpus_members(tags=["multi-pass"],
@@ -222,7 +242,7 @@ class TestSuiteExperiment:
         from repro.experiments import suite_eval
 
         res = suite_eval.run(archs=["kepler"], tags=["reduction"])
-        assert res["members"] == ["dot"]
+        assert res["members"] == ["dot", "histogram"]
 
     def test_empty_corpus_raises(self):
         from repro.experiments import suite_eval
