@@ -1,0 +1,37 @@
+"""Analyzer bench: full lint pass over the registered corpus.
+
+Lints every registered benchmark (compile + CFG + value analysis + all
+four checkers per kernel) and requires the whole pass to finish inside
+a wall-clock floor, so the dataflow solver stays cheap enough to run on
+every CI push and never lands on the sweep hot path.
+"""
+
+from repro.analyze import lint_benchmark, unexpected_diagnostics
+from repro.kernels import BENCHMARKS, get_benchmark
+
+FLOOR_SECONDS = 2.0
+
+
+def _lint_corpus():
+    unexpected = 0
+    kernels = 0
+    for name in sorted(BENCHMARKS):
+        bench = get_benchmark(name)
+        reports = lint_benchmark(bench)
+        kernels += len(reports)
+        unexpected += len(unexpected_diagnostics(bench, reports))
+    return kernels, unexpected
+
+
+def test_bench_full_corpus_lint(benchmark):
+    kernels, unexpected = benchmark.pedantic(
+        _lint_corpus, rounds=3, iterations=1
+    )
+    assert unexpected == 0
+    assert kernels >= 15  # 15 benchmarks, >= one kernel each
+
+    elapsed = benchmark.stats.stats.mean
+    print(f"\nfull corpus lint: {kernels} kernels in {elapsed:.2f}s")
+    assert elapsed <= FLOOR_SECONDS, (
+        f"corpus lint took {elapsed:.2f}s (floor {FLOOR_SECONDS}s)"
+    )

@@ -1,0 +1,58 @@
+"""Static analysis over kernel IR: dataflow, value ranges, sanitizers.
+
+Public surface:
+
+- :func:`repro.analyze.checkers.analyze_kernel` /
+  :func:`~repro.analyze.checkers.lint_benchmark` -- run all checkers;
+- :class:`repro.analyze.dataflow.ReachingDefinitions` /
+  :class:`~repro.analyze.dataflow.Liveness` /
+  :class:`~repro.analyze.dataflow.GuardedDefinitions` -- classical
+  analyses on the worklist solver;
+- :class:`repro.analyze.values.ValueAnalysis` -- affine/interval/
+  uniformity facts the checkers (and the timing model's divergence
+  terms) consume.
+"""
+
+from repro.analyze.checkers import (
+    CHECKS,
+    Diagnostic,
+    KernelReport,
+    analyze_kernel,
+    context_for_benchmark,
+    lint_benchmark,
+    unexpected_diagnostics,
+)
+from repro.analyze.dataflow import (
+    GuardedDefinitions,
+    Liveness,
+    ReachingDefinitions,
+    first_undefined_read,
+    linear_blocks,
+)
+from repro.analyze.values import (
+    AbsVal,
+    Affine,
+    Interval,
+    LaunchContext,
+    ValueAnalysis,
+)
+
+__all__ = [
+    "CHECKS",
+    "Diagnostic",
+    "KernelReport",
+    "analyze_kernel",
+    "context_for_benchmark",
+    "lint_benchmark",
+    "unexpected_diagnostics",
+    "GuardedDefinitions",
+    "Liveness",
+    "ReachingDefinitions",
+    "first_undefined_read",
+    "linear_blocks",
+    "AbsVal",
+    "Affine",
+    "Interval",
+    "LaunchContext",
+    "ValueAnalysis",
+]

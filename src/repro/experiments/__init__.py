@@ -21,6 +21,7 @@ Index (see DESIGN.md for the complete mapping):
 ``fig6``              Search-space improvement, static vs rules (Fig. 6)
 ``fig7``              Occupancy calculator, current vs potential (Fig. 7)
 ``suite``             Cross-kernel corpus evaluation (beyond the paper)
+``lint``              Static analysis over the registered corpus
 ====================  =====================================================
 """
 
@@ -39,4 +40,5 @@ ALL_EXPERIMENTS = (
     "fig6",
     "fig7",
     "suite",
+    "lint",
 )

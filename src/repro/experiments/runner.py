@@ -36,6 +36,7 @@ from repro.experiments import (
     fig5_time_model,
     fig6_search_improvement,
     fig7_occupancy_calc,
+    lint_kernels,
     suite_eval,
     table1_gpus,
     table2_throughput,
@@ -59,6 +60,7 @@ _MODULES = {
     "fig6": fig6_search_improvement,
     "fig7": fig7_occupancy_calc,
     "suite": suite_eval,
+    "lint": lint_kernels,
 }
 
 #: which kwargs each experiment accepts
@@ -75,6 +77,7 @@ _ACCEPTS = {
     "fig6": {"full", "archs", "kernels"},
     "fig7": {"archs"},
     "suite": {"full", "archs", "kernels", "tags"},
+    "lint": {"kernels", "tags"},
 }
 
 #: experiments drawing on the shared exhaustive sweep (and its in-process
@@ -90,8 +93,13 @@ SWEEP_POOLED = frozenset(
 
 
 def run_experiment(name: str, full: bool = False, archs=None,
-                   kernels=None, tags=None) -> str:
-    """Run one experiment, return its rendered text."""
+                   kernels=None, tags=None, with_status: bool = False):
+    """Run one experiment, return its rendered text.
+
+    ``with_status=True`` returns ``(text, status)`` where ``status`` is
+    the experiment's exit code (experiments that gate CI -- ``lint`` --
+    declare an ``exit_code(result)``; everything else reports 0).
+    """
     if name not in _MODULES:
         raise KeyError(
             f"unknown experiment {name!r}; available: {list(_MODULES)}"
@@ -106,15 +114,22 @@ def run_experiment(name: str, full: bool = False, archs=None,
         kwargs["kernels"] = kernels
     if "tags" in _ACCEPTS[name] and tags:
         kwargs["tags"] = tags
-    return mod.render(mod.run(**kwargs))
+    result = mod.run(**kwargs)
+    text = mod.render(result)
+    if with_status:
+        status = int(getattr(mod, "exit_code", lambda _r: 0)(result))
+        return text, status
+    return text
 
 
 def _run_timed(name: str, full: bool, archs, kernels, tags=None) -> tuple:
-    """``(text, elapsed)`` for one experiment (picklable pool target)."""
+    """``(text, elapsed, status)`` for one experiment (picklable pool
+    target)."""
     t0 = time.time()
-    text = run_experiment(name, full=full, archs=archs, kernels=kernels,
-                          tags=tags)
-    return text, time.time() - t0
+    text, status = run_experiment(name, full=full, archs=archs,
+                                  kernels=kernels, tags=tags,
+                                  with_status=True)
+    return text, time.time() - t0, status
 
 
 def main(argv=None) -> int:
@@ -207,13 +222,16 @@ def main(argv=None) -> int:
                                args.kernels, args.tags)
             for n in independents
         }
+    rc = 0
     try:
         for name in dict.fromkeys(chosen):
             if name in futures:
-                text, elapsed = futures[name].result()
+                text, elapsed, status = futures[name].result()
             else:
-                text, elapsed = _run_timed(name, args.full, args.archs,
-                                           args.kernels, args.tags)
+                text, elapsed, status = _run_timed(
+                    name, args.full, args.archs, args.kernels, args.tags
+                )
+            rc = max(rc, status)
             header = f"##### {name} ({elapsed:.1f}s) " + "#" * 30
             print(header)
             print(text)
@@ -226,7 +244,7 @@ def main(argv=None) -> int:
             executor.shutdown()
     if args.progress:
         _print_engine_summary()
-    return 0
+    return rc
 
 
 def _print_engine_summary() -> None:

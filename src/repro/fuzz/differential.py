@@ -137,6 +137,131 @@ def _first_diff(a: np.ndarray, b: np.ndarray) -> str:
             f"first at [{elem}]: {a.flat[elem]!r} vs {b.flat[elem]!r}")
 
 
+def analysis_context(program: FuzzProgram):
+    """A :class:`~repro.analyze.values.LaunchContext` for ``program``,
+    built the same way the lint entry point builds one for a registered
+    benchmark: scalar inputs become parameter values, array inputs
+    declare their byte extents."""
+    from repro.analyze.values import LaunchContext
+
+    params: dict = {}
+    extents: dict = {}
+    for k, v in program.inputs.items():
+        if isinstance(v, np.ndarray):
+            extents[k] = v.nbytes
+        else:
+            params[k] = int(v)
+    return LaunchContext(tc=program.tc, bc=program.bc, params=params,
+                         extents=extents)
+
+
+def crossval_program(program: FuzzProgram) -> Mismatch | None:
+    """Static analyzer verdicts vs. the dynamic oracles, one program.
+
+    The static checkers over-approximate, so only the *soundness*
+    direction is a failure:
+
+    - the happens-before sanitizer observes a shared-memory race but the
+      analyzer reported the program ``smem-race``-free;
+    - the emulator raises its divergent ``bar.sync`` error but the
+      analyzer reported no ``divergent-barrier``;
+    - ``uninit-read`` / ``out-of-bounds`` -- which only report *provable*
+      violations -- fire on a program that executes cleanly;
+    - the analyzer itself crashes.
+    """
+    from repro.analyze import analyze_kernel
+    from repro.sim.emulator import EmulationError, SmemSanitizer
+
+    module = compile_module(
+        program.spec.name, [program.spec], CompileOptions(gpu=K20)
+    )
+    ctx = analysis_context(program)
+    try:
+        checks: set[str] = set()
+        for ck in module:
+            report = analyze_kernel(ck.ir, ctx)
+            checks.update(d.check for d in report.diagnostics)
+    except Exception as exc:  # noqa: BLE001 - any failure is a finding
+        return Mismatch("analyze-error", f"{type(exc).__name__}: {exc}",
+                        program)
+
+    sanitizer = SmemSanitizer()
+    divergent_bar = False
+    try:
+        run_benchmark_emulated(
+            module, program.fresh_inputs(), tc=program.tc, bc=program.bc,
+            mode="scalar", sanitizer=sanitizer,
+        )
+    except EmulationError as exc:
+        if "divergent bar.sync" not in str(exc):
+            return Mismatch("sanitizer-error",
+                            f"{type(exc).__name__}: {exc}", program)
+        divergent_bar = True
+    except Exception as exc:  # noqa: BLE001
+        return Mismatch("sanitizer-error", f"{type(exc).__name__}: {exc}",
+                        program)
+
+    if sanitizer.races and "smem-race" not in checks:
+        return Mismatch(
+            "analyze-unsound-race",
+            f"sanitizer saw {len(sanitizer.races)} race(s), first: "
+            f"{sanitizer.races[0]}; analyzer reported none",
+            program,
+        )
+    if divergent_bar and "divergent-barrier" not in checks:
+        return Mismatch(
+            "analyze-unsound-divbar",
+            "runtime divergent bar.sync without a static "
+            "divergent-barrier diagnostic",
+            program,
+        )
+    if not divergent_bar:
+        for check in ("uninit-read", "out-of-bounds"):
+            if check in checks:
+                return Mismatch(
+                    "analyze-false-positive",
+                    f"{check} reported on a program that executes "
+                    f"cleanly",
+                    program,
+                )
+    return None
+
+
+def run_crossval_campaign(
+    budget: int | None = None,
+    base_seed: int = 0,
+    corpus_dir: str | None = None,
+    do_shrink: bool = True,
+    max_failures: int = 5,
+) -> CampaignResult:
+    """Cross-validate the static analyzer against the dynamic oracles
+    over ``budget`` generated programs (:func:`crossval_program` per
+    program; shrinking and corpus dumping as in
+    :func:`run_fuzz_campaign`)."""
+    from repro.fuzz.serialize import dump_program
+    from repro.fuzz.shrink import shrink_program
+
+    budget = fuzz_budget() if budget is None else budget
+    result = CampaignResult(programs=0)
+    for seed in range(base_seed, base_seed + budget):
+        program = generate_program(seed)
+        result.programs += 1
+        mismatch = crossval_program(program)
+        if mismatch is None:
+            continue
+        if do_shrink:
+            shrunk = shrink_program(program, crossval_program)
+            mismatch = crossval_program(shrunk) or mismatch
+            mismatch.program = shrunk
+        if corpus_dir:
+            path = os.path.join(corpus_dir, f"crossval_seed{seed}.json")
+            dump_program(mismatch.program, path, note=mismatch.kind)
+        result.failures.append(mismatch)
+        if len(result.failures) >= max_failures:
+            break
+    return result
+
+
 def run_fuzz_campaign(
     budget: int | None = None,
     base_seed: int = 0,

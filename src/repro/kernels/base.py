@@ -89,6 +89,13 @@ class Benchmark:
         satisfies the kernel's cooperative constraints under emulation
         (barrier trip counts, tile alignment).  ``None`` uses
         :data:`DEFAULT_EMU_LAUNCH`.
+    expected_diagnostics:
+        Static-analysis findings this benchmark is *expected* to carry
+        (``repro.analyze`` check ids, optionally pinned to a kernel as
+        ``(kernel_name, check)``).  Every registered benchmark must lint
+        clean modulo this list -- an empty tuple, the norm, means "no
+        diagnostics tolerated"; ``runner lint`` and the registry test
+        fail on anything unexpected.
     """
 
     name: str
@@ -102,6 +109,7 @@ class Benchmark:
     tags: tuple = ()
     tuning_space: Callable | None = None
     emulation_launch: Callable | None = None
+    expected_diagnostics: tuple = ()
 
     def __post_init__(self):
         unknown = set(self.tags) - TAGS
@@ -110,6 +118,15 @@ class Benchmark:
                 f"benchmark {self.name!r} has unknown tags {sorted(unknown)}; "
                 f"taxonomy: {sorted(TAGS)}"
             )
+        from repro.analyze.checkers import CHECKS
+
+        for entry in self.expected_diagnostics:
+            check = entry[1] if isinstance(entry, tuple) else entry
+            if check not in CHECKS:
+                raise ValueError(
+                    f"benchmark {self.name!r} expects unknown diagnostic "
+                    f"{check!r}; checks: {CHECKS}"
+                )
 
     def work_extent(self, n: int) -> int:
         """Total parallel-loop iterations at size ``n`` (max over kernels)."""

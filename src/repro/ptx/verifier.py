@@ -3,8 +3,9 @@
 The verifier catches codegen bugs early and documents the IR's invariants:
 
 - every branch target is a defined label;
-- every register is written before it is read on every path (checked
-  conservatively in linear order, which our structured codegen satisfies);
+- every register is written before it is read on every path (a
+  reaching-definitions query over the CFG, see
+  :func:`repro.analyze.dataflow.first_undefined_read`);
 - destination/source types agree with the instruction dtype;
 - guard predicates are predicate-typed;
 - the body ends with a terminator;
@@ -14,6 +15,8 @@ The verifier catches codegen bugs early and documents the IR's invariants:
 
 from __future__ import annotations
 
+from repro.analyze.dataflow import first_undefined_read
+from repro.ptx.cfg import build_cfg
 from repro.ptx.instruction import Imm, LabelRef, ParamRef, Reg
 from repro.ptx.isa import DType, Opcode, NO_DEST
 from repro.ptx.module import KernelIR
@@ -48,7 +51,16 @@ def verify_kernel(kernel: KernelIR, strict_types: bool = True) -> None:
         )
 
     param_names = {p.name for p in kernel.params}
-    defined: set[str] = set()
+
+    # Write-before-read over the CFG (any entry path reaching a read
+    # without a definition).  CFG construction itself fails on branches
+    # to unknown labels; the per-instruction branch-target check below
+    # reports those with the proper message, so swallow that here.
+    undef: tuple[int, object, str] | None = None
+    try:
+        undef = first_undefined_read(build_cfg(kernel))
+    except ValueError:
+        pass
 
     for idx, ins in enumerate(instrs):
         where = f"{kernel.name}[{idx}] {ins}"
@@ -79,13 +91,11 @@ def verify_kernel(kernel: KernelIR, strict_types: bool = True) -> None:
             if isinstance(s, LabelRef) and ins.opcode is not Opcode.BRA:
                 raise VerificationError(f"{where}: label operand on non-branch")
 
-        # def-before-use in linear order (sound for our structured codegen;
-        # loop-carried registers are pre-initialized before the loop header)
-        for r in ins.registers_read():
-            if r.name not in defined:
-                raise VerificationError(
-                    f"{where}: register {r.name} read before definition"
-                )
+        # def-before-use on every path (reaching definitions)
+        if undef is not None and undef[0] == idx:
+            raise VerificationError(
+                f"{where}: register {undef[2]} read before definition"
+            )
 
         # dst discipline
         if ins.opcode in NO_DEST:
@@ -94,7 +104,6 @@ def verify_kernel(kernel: KernelIR, strict_types: bool = True) -> None:
         else:
             if ins.dst is None:
                 raise VerificationError(f"{where}: missing destination")
-            defined.add(ins.dst.name)
 
         # type discipline
         if strict_types and ins.dtype is not None:

@@ -182,6 +182,150 @@ class EmulationResult:
             self.profile = self.profile or other.profile
 
 
+@dataclass(frozen=True)
+class SmemRace:
+    """One happens-before violation on shared memory.
+
+    Two accesses to the same byte, at least one a store and not both
+    atomic, by different threads of the same block, in the same barrier
+    interval (``phase`` = number of ``bar.sync`` the accessing thread
+    has retired): nothing orders them, so the program's result depends
+    on warp scheduling.
+    """
+
+    kernel: str
+    block: int
+    byte: int
+    phase: int
+    kind_a: str
+    tid_a: int
+    kind_b: str
+    tid_b: int
+
+    def __str__(self):
+        ta = "<multiple>" if self.tid_a < 0 else str(self.tid_a)
+        tb = "<multiple>" if self.tid_b < 0 else str(self.tid_b)
+        return (
+            f"{self.kernel}: shared-memory race on byte {self.byte} of "
+            f"block {self.block} in barrier interval {self.phase}: "
+            f"{self.kind_a} by tid {ta} vs {self.kind_b} by tid {tb}"
+        )
+
+
+#: tracker class -> conflicting tracker classes (LD/LD and RED/RED pairs
+#: commute; everything else on the same byte in the same phase races)
+_CONFLICTS = {"w": ("w", "r", "a"), "r": ("w", "a"), "a": ("w", "r")}
+_CLASS_OF = {"st": "w", "ld": "r", "red": "a"}
+_KIND_OF = {"w": "st", "r": "ld", "a": "red"}
+
+
+class SmemSanitizer:
+    """Happens-before race detector for shared memory.
+
+    The emulator's barrier protocol already guarantees that all warps of
+    a block retire barrier *k* before any executes past it, so the
+    happens-before order within a block is exactly the barrier-interval
+    order: accesses in different intervals are ordered, accesses in the
+    same interval by different threads are not.  The sanitizer shadows
+    every shared-memory byte with its last write/read/atomic access
+    ``(phase, tid)`` (``tid = -2`` once several threads touched it in
+    the same phase) and reports a :class:`SmemRace` whenever an
+    unordered conflicting pair shows up.  This is the dynamic mirror of
+    the static ``smem-race`` checker in :mod:`repro.analyze.checkers`
+    and the oracle the fuzz cross-validation compares it against.
+
+    One instance can observe a whole multi-kernel benchmark: kernel
+    launches are global barriers, so :meth:`begin_launch` resets the
+    shadow state while :attr:`races` accumulates across launches.
+    """
+
+    def __init__(self):
+        self.races: list[SmemRace] = []
+        self._mark = 0
+        self._kernel = ""
+        self._smem_bytes = 0
+        self._track: dict[str, tuple[np.ndarray, np.ndarray]] = {}
+
+    def begin_launch(self, kernel_name: str, bc: int, smem_bytes: int,
+                     fresh: bool = True) -> None:
+        """Reset shadow state for a new launch.
+
+        ``fresh=False`` re-begins the *same* launch (the vectorized
+        path's scalar fallback re-executes from a memory snapshot):
+        races recorded by the abandoned speculative run are dropped.
+        """
+        if fresh:
+            self._mark = len(self.races)
+        else:
+            del self.races[self._mark:]
+        self._kernel = kernel_name
+        self._smem_bytes = smem_bytes
+        self._track = {
+            cls: (
+                np.full(bc * smem_bytes, -1, dtype=np.int64),
+                np.full(bc * smem_bytes, -1, dtype=np.int64),
+            )
+            for cls in ("w", "r", "a")
+        }
+
+    def record(self, kind: str, blocks: np.ndarray, bytes_idx: np.ndarray,
+               tids: np.ndarray, phases: np.ndarray) -> None:
+        """Observe one instruction's byte accesses.
+
+        ``blocks``/``bytes_idx``/``tids``/``phases`` are parallel flat
+        arrays, one entry per (lane, byte-of-access); ``kind`` is
+        ``st``/``ld``/``red``.
+        """
+        if bytes_idx.size == 0 or self._smem_bytes == 0:
+            return
+        cls = _CLASS_OF[kind]
+        keys = blocks.astype(np.int64) * self._smem_bytes + bytes_idx
+        order = np.argsort(keys, kind="stable")
+        keys_s = keys[order]
+        tids_s = tids[order]
+        phases_s = phases[order]
+        uniq, start = np.unique(keys_s, return_index=True)
+        rep_tid = tids_s[start].copy()
+        phases_u = phases_s[start]
+        # collapse same-byte groups: one tid, or -2 for several
+        first_of = np.repeat(start, np.diff(np.append(start, keys_s.size)))
+        multi = np.logical_or.reduceat(tids_s != tids_s[first_of], start)
+        rep_tid[multi] = -2
+        if kind == "st" and multi.any():
+            # two lanes of one store instruction hit the same byte
+            i = int(np.argmax(multi))
+            self._report(uniq[i], int(phases_u[i]), "st", -2, "st", -2)
+        for other in _CONFLICTS[cls]:
+            oph, otd = self._track[other]
+            p = oph[uniq]
+            t = otd[uniq]
+            clash = (p == phases_u) & ((t == -2) | (t != rep_tid))
+            if clash.any():
+                i = int(np.argmax(clash))
+                self._report(uniq[i], int(phases_u[i]), kind,
+                             int(rep_tid[i]), _KIND_OF[other], int(t[i]))
+        ph, td = self._track[cls]
+        cur_ph = ph[uniq]
+        cur_td = td[uniq]
+        td[uniq] = np.where(
+            (cur_ph == phases_u) & (cur_td != rep_tid), -2, rep_tid
+        )
+        ph[uniq] = phases_u
+
+    def _report(self, key: int, phase: int, kind_a: str, tid_a: int,
+                kind_b: str, tid_b: int) -> None:
+        self.races.append(SmemRace(
+            kernel=self._kernel,
+            block=int(key) // self._smem_bytes,
+            byte=int(key) % self._smem_bytes,
+            phase=phase,
+            kind_a=kind_a,
+            tid_a=tid_a,
+            kind_b=kind_b,
+            tid_b=tid_b,
+        ))
+
+
 def _trunc_div(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     """C-style truncating integer division, safe under zero divisors."""
     bz = b == 0
@@ -203,6 +347,7 @@ class _Warp:
         self.block_id = block_id
         self.regs: dict[str, np.ndarray] = {}
         self.exited = np.zeros(WARP, dtype=bool)
+        self.bars = 0  # barriers retired (the sanitizer's phase clock)
         # lanes beyond blockDim are never launched
         self.exited[self.tid >= emu.tc] = True
 
@@ -245,11 +390,13 @@ class _KernelRun:
     """One kernel launch being emulated."""
 
     def __init__(self, ck: CompiledKernel, params: dict, tc: int, bc: int,
-                 memory: DeviceMemory):
+                 memory: DeviceMemory,
+                 sanitizer: SmemSanitizer | None = None):
         self.ck = ck
         self.tc = tc
         self.bc = bc
         self.memory = memory
+        self.sanitizer = sanitizer
         self.result = EmulationResult()
 
         self.cfg: CFG = build_cfg(ck.ir)
@@ -364,6 +511,7 @@ class _KernelRun:
                         continue
                     if ins.opcode is Opcode.BAR:
                         yield "bar"
+                        warp.bars += 1
                         continue
                     if ins.opcode in (Opcode.EXIT, Opcode.RET):
                         warp.exited |= em
@@ -446,7 +594,7 @@ class _KernelRun:
                 return
             addrs = warp.read(src.base).astype(np.int64) + src.offset
             if ins.space is MemSpace.SHARED:
-                val = self._smem_gather(smem, addrs, em, ins.dtype)
+                val = self._smem_gather(smem, addrs, em, ins.dtype, warp)
             else:
                 val = self.memory.gather(addrs, em, ins.dtype)
             warp.write(ins.dst, val, em)
@@ -458,7 +606,7 @@ class _KernelRun:
             vals = warp.read(vop)
             if ins.space is MemSpace.SHARED:
                 self._smem_scatter(smem, addrs, em, vals, ins.dtype,
-                                   add=op is Opcode.RED)
+                                   add=op is Opcode.RED, warp=warp)
             elif op is Opcode.RED:
                 self.memory.scatter_add(addrs, em, vals, ins.dtype)
             else:
@@ -557,8 +705,17 @@ class _KernelRun:
 
     # -- shared memory -----------------------------------------------------
 
-    @staticmethod
-    def _smem_gather(smem, addrs, em, dtype: DType) -> np.ndarray:
+    def _sanitize_warp(self, kind: str, warp: _Warp, addrs, em,
+                       nbytes: int) -> None:
+        base = addrs[em]
+        bytes_idx = (base[:, None] + np.arange(nbytes)).ravel()
+        tids = np.repeat(warp.tid[em], nbytes).astype(np.int64)
+        blocks = np.full(bytes_idx.size, warp.block_id, dtype=np.int64)
+        phases = np.full(bytes_idx.size, warp.bars, dtype=np.int64)
+        self.sanitizer.record(kind, blocks, bytes_idx, tids, phases)
+
+    def _smem_gather(self, smem, addrs, em, dtype: DType,
+                     warp: _Warp) -> np.ndarray:
         np_dt = _NP_DTYPE[dtype]
         out = np.zeros(WARP, dtype=np_dt)
         if smem is None:
@@ -567,11 +724,13 @@ class _KernelRun:
         idx = (addrs[em] // dtype.nbytes).astype(np.int64)
         if (idx < 0).any() or (idx >= view.size).any():
             raise EmulationError("shared memory access out of bounds")
+        if self.sanitizer is not None:
+            self._sanitize_warp("ld", warp, addrs, em, dtype.nbytes)
         out[em] = view[idx]
         return out
 
-    @staticmethod
-    def _smem_scatter(smem, addrs, em, vals, dtype: DType, add: bool) -> None:
+    def _smem_scatter(self, smem, addrs, em, vals, dtype: DType, add: bool,
+                      warp: _Warp) -> None:
         np_dt = _NP_DTYPE[dtype]
         if smem is None:
             raise EmulationError("shared access without shared memory")
@@ -579,6 +738,9 @@ class _KernelRun:
         idx = (addrs[em] // dtype.nbytes).astype(np.int64)
         if (idx < 0).any() or (idx >= view.size).any():
             raise EmulationError("shared memory store out of bounds")
+        if self.sanitizer is not None:
+            self._sanitize_warp("red" if add else "st", warp, addrs, em,
+                                dtype.nbytes)
         if add:
             np.add.at(view, idx, vals[em].astype(np_dt))
         else:
@@ -592,6 +754,7 @@ def emulate_kernel(
     bc: int,
     memory: DeviceMemory | None = None,
     mode: str | None = None,
+    sanitizer: SmemSanitizer | None = None,
 ) -> tuple[EmulationResult, DeviceMemory]:
     """Run one compiled kernel on ``inputs``.
 
@@ -604,6 +767,10 @@ def emulate_kernel(
     the vectorized grid-level path, with ``REPRO_EMU=scalar`` as the
     environment escape hatch.  Both paths produce identical results; the
     one actually used is recorded on ``result.profile``.
+
+    Passing a :class:`SmemSanitizer` turns on happens-before race
+    checking for shared memory; findings accumulate on
+    ``sanitizer.races`` (both execution paths feed it identically).
     """
     if tc <= 0 or bc <= 0:
         raise ValueError("tc and bc must be positive")
@@ -612,13 +779,17 @@ def emulate_kernel(
         for p in ck.ir.params:
             if p.is_pointer:
                 memory.alloc(p.name, np.asarray(inputs[p.name]).copy())
+    if sanitizer is not None:
+        sanitizer.begin_launch(ck.ir.name, bc, ck.ir.static_smem_bytes)
     t0 = time.perf_counter()
     if emulation_mode(mode) == "vector":
         from repro.sim.vector import run_stacked
 
-        result, path, steps = run_stacked(ck, inputs, tc, bc, memory)
+        result, path, steps = run_stacked(ck, inputs, tc, bc, memory,
+                                          sanitizer=sanitizer)
     else:
-        result = _KernelRun(ck, inputs, tc, bc, memory).run()
+        result = _KernelRun(ck, inputs, tc, bc, memory,
+                            sanitizer=sanitizer).run()
         path, steps = "scalar", result.total_issues
     result.profile = LaunchProfile(
         mode=path,
@@ -635,6 +806,7 @@ def run_benchmark_emulated(
     tc: int,
     bc: int,
     mode: str | None = None,
+    sanitizer: SmemSanitizer | None = None,
 ) -> tuple[dict, EmulationResult]:
     """Emulate all kernels of a benchmark in order on shared device memory.
 
@@ -650,7 +822,8 @@ def run_benchmark_emulated(
                 seen.add(p.name)
     total = EmulationResult()
     for ck in module:
-        res, _ = emulate_kernel(ck, inputs, tc, bc, memory, mode=mode)
+        res, _ = emulate_kernel(ck, inputs, tc, bc, memory, mode=mode,
+                                sanitizer=sanitizer)
         total.merge(res)
     outputs = {name: memory.allocation(name).data for name in seen}
     return outputs, total

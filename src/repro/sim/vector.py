@@ -128,6 +128,7 @@ def run_stacked(
     tc: int,
     bc: int,
     memory: DeviceMemory,
+    sanitizer=None,
 ) -> tuple[EmulationResult, str, int]:
     """Execute one launch on the stacked fast path.
 
@@ -141,10 +142,11 @@ def run_stacked(
         # multiple dynamic executions of red.shared interleave across
         # warps instruction-major on the stack; the scalar order cannot
         # be reproduced by replay because shared memory is read back
-        result = _KernelRun(ck, params, tc, bc, memory).run()
+        result = _KernelRun(ck, params, tc, bc, memory,
+                            sanitizer=sanitizer).run()
         return result, "scalar", result.total_issues
     snap = memory.snapshot() if has_global_atomics(ck) else None
-    run = _StackedRun(ck, params, tc, bc, memory)
+    run = _StackedRun(ck, params, tc, bc, memory, sanitizer=sanitizer)
     try:
         return run.run(), "grid", run.steps
     except _ReplaySpeculationFailed:
@@ -156,7 +158,12 @@ def run_stacked(
         if snap is None:
             raise
     memory.restore(snap)
-    result = _KernelRun(ck, params, tc, bc, memory).run()
+    if sanitizer is not None:
+        # drop accesses observed by the abandoned speculative run
+        sanitizer.begin_launch(ck.ir.name, bc, ck.ir.static_smem_bytes,
+                               fresh=False)
+    result = _KernelRun(ck, params, tc, bc, memory,
+                        sanitizer=sanitizer).run()
     return result, "scalar", result.total_issues
 
 
@@ -230,12 +237,14 @@ class _StackedRun(_KernelRun):
     resolution) and arithmetic semantics; only the driver loop differs.
     """
 
-    def __init__(self, ck, params, tc, bc, memory):
-        super().__init__(ck, params, tc, bc, memory)
+    def __init__(self, ck, params, tc, bc, memory, sanitizer=None):
+        super().__init__(ck, params, tc, bc, memory, sanitizer=sanitizer)
         self.steps = 0
         self._meta: dict[str, tuple] = {}
         self._ldst_allocs: set[str] = set()
         self._red_allocs: set[str] = set()
+        self._state = None
+        self._bars = None
 
     def _block_meta(self, name: str) -> tuple:
         """Cached per-block counting aggregates.
@@ -283,6 +292,7 @@ class _StackedRun(_KernelRun):
 
         issues = np.zeros(n, dtype=np.int64)
         bars = np.zeros(n, dtype=np.int64)
+        self._state, self._bars = state, bars  # for sanitizer recording
         red_events: list = []
         red_seq = 0
         full = ~state.exited
@@ -522,6 +532,16 @@ class _StackedRun(_KernelRun):
 
     # -- shared memory -------------------------------------------------
 
+    def _sanitize_stacked(self, kind, slot2d, addrs, em,
+                          nbytes: int) -> None:
+        rows, _lanes = np.nonzero(em)  # row-major, matches addrs[em]
+        base = addrs[em]
+        bytes_idx = (base[:, None] + np.arange(nbytes)).ravel()
+        tids = np.repeat(self._state.tid[em], nbytes).astype(np.int64)
+        blocks = np.repeat(slot2d[em], nbytes).astype(np.int64)
+        phases = np.repeat(self._bars[rows], nbytes).astype(np.int64)
+        self.sanitizer.record(kind, blocks, bytes_idx, tids, phases)
+
     def _smem_gather_stacked(self, smem, slot2d, addrs, em,
                              dtype) -> np.ndarray:
         np_dt = _NP_DTYPE[dtype]
@@ -532,6 +552,8 @@ class _StackedRun(_KernelRun):
         idx = (addrs[em] // dtype.nbytes).astype(np.int64)
         if (idx < 0).any() or (idx >= view.shape[1]).any():
             raise EmulationError("shared memory access out of bounds")
+        if self.sanitizer is not None:
+            self._sanitize_stacked("ld", slot2d, addrs, em, dtype.nbytes)
         out[em] = view[slot2d[em], idx]
         return out
 
@@ -544,6 +566,9 @@ class _StackedRun(_KernelRun):
         idx = (addrs[em] // dtype.nbytes).astype(np.int64)
         if (idx < 0).any() or (idx >= view.shape[1]).any():
             raise EmulationError("shared memory store out of bounds")
+        if self.sanitizer is not None:
+            self._sanitize_stacked("red" if add else "st", slot2d, addrs,
+                                   em, dtype.nbytes)
         slots = slot2d[em]
         if add:
             np.add.at(view, (slots, idx), vals[em].astype(np_dt))

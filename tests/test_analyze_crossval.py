@@ -1,0 +1,110 @@
+"""Analyzer-vs-sanitizer cross-validation: the happens-before shared
+memory sanitizer, its agreement across both emulator paths, and the fuzz
+campaign that empirically pins the static checkers' soundness."""
+
+import dataclasses
+import os
+
+import pytest
+
+from repro.arch import K20
+from repro.codegen.compiler import CompileOptions, compile_module
+from repro.fuzz.differential import (
+    analysis_context,
+    crossval_program,
+    fuzz_budget,
+    run_crossval_campaign,
+)
+from repro.fuzz.generator import generate_program
+from repro.kernels import get_benchmark
+from repro.ptx.instruction import Instruction
+from repro.ptx.isa import Opcode
+from repro.sim.emulator import SmemSanitizer, emulate_kernel
+from repro.util.rng import rng_for
+
+
+def _dot_case():
+    bench = get_benchmark("dot")
+    module = compile_module(
+        "dot", list(bench.specs), CompileOptions(gpu=K20)
+    )
+    ck = next(iter(module))
+    n = bench.smallest_size
+    inputs = dict(bench.make_inputs(n, rng_for("sanitizer", "dot", n)))
+    inputs.update(bench.param_env(n))
+    tc, bc = bench.emu_launch(n)
+    return ck, inputs, tc, bc
+
+
+def _drop_first_barrier(ck):
+    body = list(ck.ir.body)
+    bar = next(
+        i for i, it in enumerate(body)
+        if isinstance(it, Instruction) and it.opcode is Opcode.BAR
+    )
+    return dataclasses.replace(
+        ck, ir=dataclasses.replace(ck.ir, body=body[:bar] + body[bar + 1:])
+    )
+
+
+class TestSmemSanitizer:
+    @pytest.mark.parametrize("mode", ["scalar", "vector"])
+    def test_correct_dot_is_race_free(self, mode):
+        ck, inputs, tc, bc = _dot_case()
+        sanitizer = SmemSanitizer()
+        emulate_kernel(ck, dict(inputs), tc, bc, mode=mode,
+                       sanitizer=sanitizer)
+        assert sanitizer.races == []
+
+    @pytest.mark.parametrize("mode", ["scalar", "vector"])
+    def test_dropped_barrier_races_on_both_paths(self, mode):
+        ck, inputs, tc, bc = _dot_case()
+        sanitizer = SmemSanitizer()
+        emulate_kernel(_drop_first_barrier(ck), dict(inputs), tc, bc,
+                       mode=mode, sanitizer=sanitizer)
+        assert sanitizer.races
+        race = sanitizer.races[0]
+        # the staging store vs the first tree-reduction load, phase 0
+        assert race.phase == 0
+        assert {race.kind_a, race.kind_b} == {"ld", "st"}
+        assert "shared-memory race" in str(race)
+
+    def test_launch_reset_keeps_races_across_kernels(self):
+        ck, inputs, tc, bc = _dot_case()
+        sanitizer = SmemSanitizer()
+        bad = _drop_first_barrier(ck)
+        emulate_kernel(bad, dict(inputs), tc, bc, mode="scalar",
+                       sanitizer=sanitizer)
+        first = len(sanitizer.races)
+        assert first > 0
+        # a second (clean) launch must not erase earlier findings
+        emulate_kernel(ck, dict(inputs), tc, bc, mode="scalar",
+                       sanitizer=sanitizer)
+        assert len(sanitizer.races) == first
+
+
+class TestCrossValidation:
+    def test_analysis_context_splits_scalars_and_extents(self):
+        program = generate_program(0)
+        ctx = analysis_context(program)
+        assert ctx.tc == program.tc and ctx.bc == program.bc
+        assert "N" in ctx.params
+        assert all(nbytes > 0 for nbytes in ctx.extents.values())
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_fixed_seeds_cross_validate(self, seed):
+        assert crossval_program(generate_program(seed)) is None
+
+    def test_small_campaign_is_clean(self):
+        result = run_crossval_campaign(budget=20, do_shrink=False)
+        assert result.ok, result.summary()
+        assert result.programs == 20
+
+    @pytest.mark.fuzz
+    def test_default_budget_campaign_is_clean(self):
+        # mismatches are shrunk and dumped next to the curated corpus so
+        # the CI artifact upload ships ready-made regression locks
+        corpus = os.path.join(os.path.dirname(__file__), "fuzz_corpus")
+        result = run_crossval_campaign(corpus_dir=corpus)
+        assert result.ok, result.summary()
+        assert result.programs == fuzz_budget()

@@ -1,0 +1,74 @@
+"""Registry gate: every registered benchmark lints clean (or carries an
+explicit ``expected_diagnostics`` annotation), and the ``lint``
+experiment wires that into the CLI with a nonzero exit on surprises."""
+
+import dataclasses
+
+import pytest
+
+from repro.analyze import lint_benchmark, unexpected_diagnostics
+from repro.experiments.runner import run_experiment
+from repro.kernels import BENCHMARKS, get_benchmark
+from repro.kernels.base import Benchmark
+
+
+@pytest.mark.parametrize("name", sorted(BENCHMARKS))
+def test_registered_benchmark_lints_clean(name):
+    bench = get_benchmark(name)
+    reports = lint_benchmark(bench)
+    unexpected = unexpected_diagnostics(bench, reports)
+    assert not unexpected, "\n".join(str(d) for d in unexpected)
+
+
+def test_no_benchmark_needs_an_expected_diagnostics_waiver():
+    """The corpus itself is clean; annotations exist for future seeded
+    teaching kernels, not to paper over current findings."""
+    assert all(
+        not bench.expected_diagnostics for bench in BENCHMARKS.values()
+    )
+
+
+def test_unknown_expected_diagnostic_is_rejected():
+    bench = get_benchmark("dot")
+    with pytest.raises(ValueError, match="unknown diagnostic"):
+        dataclasses.replace(bench, name="dot2",
+                            expected_diagnostics=("not-a-check",))
+
+
+def test_expected_diagnostics_accepts_pinned_and_bare_forms():
+    bench = get_benchmark("dot")
+    ok = dataclasses.replace(
+        bench, name="dot2",
+        expected_diagnostics=(("dot", "smem-race"), "out-of-bounds"),
+    )
+    assert isinstance(ok, Benchmark)
+
+
+def test_annotation_suppresses_matching_diagnostic_only():
+    bench = get_benchmark("dot")
+    reports = lint_benchmark(bench)
+    # fabricate a finding by annotating a clean benchmark: nothing to
+    # suppress, and the bare/pinned forms must not invent diagnostics
+    annotated = dataclasses.replace(
+        bench, name="dot2", expected_diagnostics=("smem-race",)
+    )
+    assert unexpected_diagnostics(annotated, reports) == []
+
+
+class TestLintExperiment:
+    def test_clean_registry_renders_and_exits_zero(self):
+        text, status = run_experiment("lint", kernels=["dot"],
+                                      with_status=True)
+        assert "lint: clean" in text
+        assert status == 0
+        assert "dot" in text
+
+    def test_tag_filter_selects_the_tagged_subset(self):
+        text = run_experiment("lint", tags=["reduction"])
+        assert "dot" in text and "histogram" in text
+        assert "jacobi2d" not in text
+
+    def test_default_covers_the_full_registry(self):
+        text = run_experiment("lint")
+        for name in BENCHMARKS:
+            assert name in text
