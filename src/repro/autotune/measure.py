@@ -37,6 +37,24 @@ def compile_config_key(config: dict) -> tuple:
     )
 
 
+class MeasurementError(RuntimeError):
+    """A batch measurement failed at a specific ``(config, size)`` point.
+
+    Raised by :meth:`Measurer.measure_many` (the sweep-engine worker
+    path) so a shard failure names the exact work point that caused it
+    -- the engine's :class:`~repro.engine.resilience.ShardFailure`
+    records carry this message verbatim.
+    """
+
+    def __init__(self, config: dict, size: int, cause: BaseException):
+        super().__init__(
+            f"measuring config {dict(config)} at size {size} failed: "
+            f"{type(cause).__name__}: {cause}"
+        )
+        self.config = dict(config)
+        self.size = size
+
+
 @dataclass(frozen=True)
 class VariantMeasurement:
     """One measured code variant."""
@@ -127,9 +145,19 @@ class Measurer:
 
         Modules are compiled once per distinct compile key regardless of
         order (``module_for`` memoizes them for the measurer's lifetime).
-        This is the unit of work a sweep-engine worker runs on its shard.
+        This is the unit of work a sweep-engine worker runs on its
+        shard, so a failure is wrapped in :class:`MeasurementError` to
+        pin the exact point that caused it.
         """
-        return [self.measure(config, size) for config, size in items]
+        out = []
+        for config, size in items:
+            try:
+                out.append(self.measure(config, size))
+            except (KeyboardInterrupt, SystemExit, MeasurementError):
+                raise
+            except Exception as e:
+                raise MeasurementError(config, size, e) from e
+        return out
 
     def objective(self, size: int):
         """A callable ``config -> seconds`` for the search strategies."""

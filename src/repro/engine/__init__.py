@@ -3,9 +3,12 @@
 The paper's workload is exhaustive measurement of thousands of code
 variants per kernel x GPU x input size.  This package turns that from a
 serial, recompute-everything loop into a staged pipeline: enumerate ->
-probe cache -> shard -> execute on a process pool -> persist ->
-reassemble in canonical order.  See :mod:`repro.engine.engine` for the
-stage-by-stage description.
+probe cache -> shard -> execute under supervision (checkpointing each
+completed shard) -> reassemble in canonical order.  See
+:mod:`repro.engine.engine` for the stage-by-stage description,
+:mod:`repro.engine.resilience` for the failure model (retry/backoff,
+poison-shard bisection, quarantine), and :mod:`repro.engine.chaos` for
+the deterministic fault-injection harness that tests it.
 
 Typical use::
 
@@ -31,20 +34,33 @@ from repro.engine.cache import (
 from repro.engine.engine import SweepEngine, SweepStats
 from repro.engine.pool import PoolExecutor, evaluate_shard, resolve_jobs
 from repro.engine.progress import NULL_PROGRESS, ProgressReporter, StderrProgress
+from repro.engine.resilience import (
+    DEFAULT_POLICY,
+    AttemptRecord,
+    ExecutorReport,
+    RetryPolicy,
+    ShardFailure,
+)
 from repro.engine.work import (
     WorkItem,
     build_pairs,
     build_work_list,
     compile_key,
     shard_work,
+    split_shard,
 )
 
 __all__ = [
     "CACHE_SCHEMA_VERSION",
+    "AttemptRecord",
     "CacheStore",
+    "DEFAULT_POLICY",
+    "ExecutorReport",
     "NULL_PROGRESS",
     "PoolExecutor",
     "ProgressReporter",
+    "RetryPolicy",
+    "ShardFailure",
     "StderrProgress",
     "SweepEngine",
     "SweepStats",
@@ -59,5 +75,6 @@ __all__ = [
     "point_key",
     "resolve_jobs",
     "shard_work",
+    "split_shard",
     "stable_hash",
 ]

@@ -4,15 +4,28 @@ Every measured variant is stored under a *stable content key*: a SHA-256
 digest of everything that determines the measurement -- the kernel (name
 and spec structure), the full GPU spec, the tuning configuration, the
 input size, the timing model's :class:`~repro.sim.timing.ModelParams`,
-and the measurement protocol (repetitions / trial index).  Changing any of these yields a
-different key, so a cache never serves stale results after a model
-recalibration; bumping :data:`CACHE_SCHEMA_VERSION` invalidates every
+and the measurement protocol (repetitions / trial index).  Changing any
+of these yields a different key, so a cache never serves stale results
+after a model recalibration; bumping
+:data:`CACHE_SCHEMA_VERSION` invalidates every
 entry at once when the measurement semantics themselves change.
 
 The store is a single SQLite file (stdlib ``sqlite3``; no third-party
 dependency).  Only the coordinating process writes -- workers compute,
-the engine persists -- so no cross-process locking is needed beyond
-SQLite's own.
+the engine persists -- but several *engines* (concurrent tuning
+sessions) may share one store, so connections open in WAL journal mode
+with a busy timeout: readers never block the writer and a briefly
+contended write waits instead of raising ``database is locked``.
+
+The store is also hardened against damage, because a measurement cache
+must never be able to abort the sweep it exists to accelerate:
+
+- a payload that fails to decode is counted (``corrupt``), moved to a
+  ``quarantine`` side table for post-mortem, and reported as a miss --
+  the point is simply re-measured;
+- a database file that is corrupt at open (``sqlite3.DatabaseError``)
+  is renamed aside (``*.corrupt-N``) and a fresh store is built in its
+  place (``recovered_path`` records the sidelined file).
 """
 
 from __future__ import annotations
@@ -118,11 +131,17 @@ def _decode(payload: str) -> VariantMeasurement:
     return VariantMeasurement(**json.loads(payload))
 
 
+BUSY_TIMEOUT_MS = 10_000
+"""How long a contended write waits before ``database is locked``."""
+
+
 class CacheStore:
     """On-disk key -> :class:`VariantMeasurement` store.
 
     ``path`` may be a directory (the database file is created inside it)
-    or an explicit ``*.sqlite`` / ``*.db`` file path.
+    or an explicit ``*.sqlite`` / ``*.db`` file path.  Stores are
+    context managers (``with CacheStore(p) as store: ...`` closes the
+    connection deterministically); ``close`` is idempotent.
     """
 
     def __init__(self, path: str | Path | None = None):
@@ -135,15 +154,76 @@ class CacheStore:
         else:
             self.db_path = path / _DB_NAME
         self.db_path.parent.mkdir(parents=True, exist_ok=True)
-        self._conn = sqlite3.connect(str(self.db_path))
-        self._conn.execute(
-            "CREATE TABLE IF NOT EXISTS measurements ("
-            " key TEXT PRIMARY KEY,"
-            " payload TEXT NOT NULL)"
-        )
-        self._conn.commit()
         self.hits = 0
         self.misses = 0
+        self.corrupt = 0
+        """Payloads that failed to decode and were quarantined."""
+        self.recovered_path: Path | None = None
+        """Where a corrupt database file was moved aside, if one was."""
+        try:
+            self._conn = self._open()
+        except sqlite3.DatabaseError:
+            # corrupt database file: move it aside and rebuild
+            self.recovered_path = self._sideline_database()
+            self._conn = self._open()
+
+    def _open(self) -> sqlite3.Connection:
+        conn = sqlite3.connect(str(self.db_path))
+        try:
+            conn.execute(f"PRAGMA busy_timeout = {BUSY_TIMEOUT_MS}")
+            conn.execute("PRAGMA journal_mode = WAL")
+            conn.execute(
+                "CREATE TABLE IF NOT EXISTS measurements ("
+                " key TEXT PRIMARY KEY,"
+                " payload TEXT NOT NULL)"
+            )
+            conn.execute(
+                "CREATE TABLE IF NOT EXISTS quarantine ("
+                " key TEXT PRIMARY KEY,"
+                " payload TEXT,"
+                " error TEXT)"
+            )
+            conn.commit()
+        except sqlite3.DatabaseError:
+            conn.close()
+            raise
+        return conn
+
+    def _sideline_database(self) -> Path:
+        """Rename the (corrupt) database file out of the way, with its
+        stale WAL/SHM siblings, so a fresh store can be built."""
+        n = 1
+        while True:
+            target = self.db_path.with_name(
+                f"{self.db_path.name}.corrupt-{n}"
+            )
+            if not target.exists():
+                break
+            n += 1
+        os.replace(self.db_path, target)
+        for suffix in ("-wal", "-shm"):
+            sibling = Path(str(self.db_path) + suffix)
+            if sibling.exists():
+                sibling.unlink()
+        return target
+
+    def _decode_or_quarantine(self, key: str, payload):
+        """Decode a payload; a corrupt one is moved to the quarantine
+        table and reported as a miss (``None``), never raised."""
+        try:
+            return _decode(payload)
+        except Exception as e:
+            self.corrupt += 1
+            self._conn.execute(
+                "INSERT OR REPLACE INTO quarantine (key, payload, error)"
+                " VALUES (?, ?, ?)",
+                (key, str(payload), f"{type(e).__name__}: {e}"),
+            )
+            self._conn.execute(
+                "DELETE FROM measurements WHERE key = ?", (key,)
+            )
+            self._conn.commit()
+            return None
 
     # -- single-item API -----------------------------------------------------
 
@@ -151,11 +231,12 @@ class CacheStore:
         row = self._conn.execute(
             "SELECT payload FROM measurements WHERE key = ?", (key,)
         ).fetchone()
-        if row is None:
+        m = self._decode_or_quarantine(key, row[0]) if row else None
+        if m is None:
             self.misses += 1
             return None
         self.hits += 1
-        return _decode(row[0])
+        return m
 
     def put(self, key: str, measurement: VariantMeasurement) -> None:
         self.put_many([(key, measurement)])
@@ -175,7 +256,9 @@ class CacheStore:
                 chunk,
             ).fetchall()
             for key, payload in rows:
-                found[key] = _decode(payload)
+                m = self._decode_or_quarantine(key, payload)
+                if m is not None:
+                    found[key] = m
         self.hits += len(found)
         self.misses += len(keys) - len(found)
         return found
@@ -200,9 +283,25 @@ class CacheStore:
         ).fetchone()
         return int(n)
 
+    def quarantined(self) -> list:
+        """``(key, error)`` rows of payloads sidelined by decode
+        failures, for post-mortem."""
+        return self._conn.execute(
+            "SELECT key, error FROM quarantine ORDER BY key"
+        ).fetchall()
+
     def clear(self) -> None:
         self._conn.execute("DELETE FROM measurements")
+        self._conn.execute("DELETE FROM quarantine")
         self._conn.commit()
 
     def close(self) -> None:
+        """Idempotent; operations after close raise
+        ``sqlite3.ProgrammingError``."""
         self._conn.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()

@@ -11,14 +11,20 @@ deliberately explicit and debuggable:
    disk (:mod:`repro.engine.cache`).
 3. **Shard** the misses by compile key and balance them across workers
    (:func:`~repro.engine.work.shard_work`).
-4. **Execute** the shards on a process pool -- or inline when ``jobs=1``
-   (:mod:`repro.engine.pool`).
-5. **Persist** the fresh measurements and **reassemble** the canonical
-   order, so parallel output is byte-identical to serial output.
+4. **Execute** the shards under supervision -- on worker processes, or
+   inline when ``jobs=1`` (:mod:`repro.engine.pool`): dead or hung
+   workers are respawned and their shards retried with backoff, and a
+   work item that keeps failing is bisected out and quarantined as a
+   :class:`~repro.engine.resilience.ShardFailure` rather than aborting
+   the sweep.  Each completed shard's measurements are **checkpointed**
+   to the cache as they arrive, so an interrupted sweep resumes warm.
+5. **Reassemble** the canonical order, so parallel output is
+   byte-identical to serial output.
 
 The timing model is deterministic (noise is seeded from the
 configuration itself), which is what makes stages 2 and 4 safe: a cached
-or remote measurement equals an inline one exactly.
+or remote measurement equals an inline one exactly -- including a
+retried one, so recovery never changes results.
 """
 
 from __future__ import annotations
@@ -45,6 +51,14 @@ class SweepStats:
     hits: int
     measured: int
     elapsed_s: float
+    retries: int = 0
+    """Shard re-submissions after faults (incl. bisection halves)."""
+    failures: int = 0
+    """Work items quarantined after exhausting their retry budget."""
+    recovered: int = 0
+    """Shards that succeeded after at least one fault."""
+    corrupt: int = 0
+    """Cache payloads that failed to decode and were re-measured."""
 
     @property
     def hit_rate(self) -> float:
@@ -66,20 +80,30 @@ class SweepEngine:
         A :class:`~repro.engine.progress.ProgressReporter`; default no-op.
     """
 
-    def __init__(self, jobs: int | None = 1, cache=None, progress=None):
+    def __init__(self, jobs: int | None = 1, cache=None, progress=None,
+                 policy=None):
         self.jobs = resolve_jobs(jobs)
+        self._owns_cache = cache is not None and not isinstance(
+            cache, CacheStore
+        )
         if cache is None or isinstance(cache, CacheStore):
             self.cache = cache
         else:
             self.cache = CacheStore(Path(cache))
         self.progress = progress if progress is not None else NULL_PROGRESS
         self.last_stats: SweepStats | None = None
+        self.last_failures: list = []
+        """:class:`~repro.engine.resilience.ShardFailure` quarantine
+        records from the last run (empty on a fault-free run)."""
         self.total_measured = 0
         """Fresh measurements over the engine's lifetime (a search run
         issues many small batches; ``last_stats`` only covers the last)."""
         self.total_hits = 0
         """Cache hits over the engine's lifetime."""
-        self._executor = PoolExecutor(self.jobs)
+        self.total_retries = 0
+        self.total_failures = 0
+        self.total_recovered = 0
+        self._executor = PoolExecutor(self.jobs, policy=policy)
 
     def close(self) -> None:
         """Release the worker pool (the cache, possibly shared, is left
@@ -90,7 +114,12 @@ class SweepEngine:
         return self
 
     def __exit__(self, *exc):
+        """Context-manager exit also closes a cache the engine opened
+        itself (one built from a path); a shared :class:`CacheStore`
+        instance passed in by the caller is left open."""
         self.close()
+        if self._owns_cache and self.cache is not None:
+            self.cache.close()
 
     # -- entry points --------------------------------------------------------
 
@@ -135,6 +164,7 @@ class SweepEngine:
     ) -> list:
         t0 = time.monotonic()
         results: list = [None] * len(items)
+        corrupt_before = self.cache.corrupt if self.cache is not None else 0
 
         # stage 2: probe the cache
         misses = items
@@ -157,9 +187,12 @@ class SweepEngine:
                     misses.append(item)
         hits = len(items) - len(misses)
 
-        # stages 3-4: shard and execute
+        # stages 3-4: shard and execute under supervision, checkpointing
+        # each completed shard to the cache as it arrives (an interrupted
+        # sweep resumes warm instead of losing every measurement)
         self.progress.start(len(items), label)
         self.progress.advance(hits)
+        report = None
         if misses:
             from repro.kernels import BENCHMARKS
 
@@ -174,23 +207,43 @@ class SweepEngine:
                 (bench_ref, gpu, params, repetitions, trial_index, shard)
                 for shard in shards
             ]
-            for index, m in self._executor.run(tasks,
-                                               progress=self.progress):
-                results[index] = m
 
-        # stage 5: persist the fresh measurements
-        if self.cache is not None and misses:
-            self.cache.put_many(
-                (keys[item.index], results[item.index]) for item in misses
+            def checkpoint(task, pairs):
+                if self.cache is not None:
+                    self.cache.put_many((keys[i], m) for i, m in pairs)
+
+            for index, m in self._executor.run(
+                tasks, progress=self.progress, on_shard_done=checkpoint,
+            ):
+                results[index] = m
+            report = self._executor.last_report
+
+        # stage 5: reassembled above by item index; account and report
+        self.last_failures = list(report.failures) if report else []
+        if self.last_failures:
+            quarantined = sum(len(f.indices) for f in self.last_failures)
+            self.progress.note(
+                f"{label}: quarantined {quarantined} work item(s) "
+                "after retry exhaustion (see engine.last_failures)"
             )
+        else:
+            quarantined = 0
         self.progress.finish()
 
         self.last_stats = SweepStats(
             total=len(items),
             hits=hits,
-            measured=len(misses),
+            measured=len(misses) - quarantined,
             elapsed_s=time.monotonic() - t0,
+            retries=report.retries if report else 0,
+            failures=len(self.last_failures),
+            recovered=report.recovered if report else 0,
+            corrupt=(self.cache.corrupt - corrupt_before)
+            if self.cache is not None else 0,
         )
-        self.total_measured += len(misses)
+        self.total_measured += self.last_stats.measured
         self.total_hits += hits
+        self.total_retries += self.last_stats.retries
+        self.total_failures += self.last_stats.failures
+        self.total_recovered += self.last_stats.recovered
         return results

@@ -1,4 +1,4 @@
-"""Process-pool execution of measurement shards.
+"""Supervised process execution of measurement shards.
 
 Each task is self-contained -- benchmark, GPU spec, model parameters,
 protocol, and a shard of :class:`~repro.engine.work.WorkItem` -- so a
@@ -7,16 +7,53 @@ and compiles each needed module exactly once (shards are grouped by
 compile key upstream).  Workers return ``(item index, measurement)``
 pairs; ordering is restored by the engine, never by arrival time.
 
-With ``jobs=1`` (or a single shard) everything runs inline in the
-calling process: no pool, no pickling, identical results.
+Unlike a bare ``Pool.imap_unordered``, execution here is *supervised*
+(see :mod:`repro.engine.resilience`): every shard runs in a dedicated
+worker process with its own result pipe, so the supervisor attributes
+failures exactly --
+
+- a worker that dies mid-shard (OOM-kill, ``os._exit``) surfaces as EOF
+  on its pipe and is respawned; the shard is retried with backoff;
+- a shard that outlives the policy deadline has its worker killed and
+  is retried likewise;
+- an exception inside ``evaluate_shard`` travels back as a structured
+  error and is retried;
+- a shard that exhausts its retry budget is *bisected* -- split in two
+  to isolate the poison item, each half with a fresh budget -- until a
+  single offending item is quarantined as a
+  :class:`~repro.engine.resilience.ShardFailure` instead of aborting
+  the sweep;
+- if the parallel path fails outright (workers cannot be spawned at
+  all), the run degrades to inline execution with a warning.
+
+Workers persist across ``run`` calls -- a search-heavy run (fig6)
+issues one small batch per tuning step, and re-forking workers for each
+would dominate the work.  ``close`` shuts them down cleanly (sentinel +
+``join``); ``terminate`` is reserved for the fault paths.  With
+``jobs=1`` (or a single shard) everything runs inline in the calling
+process: no workers, no pickling, identical results -- but the same
+retry/bisection supervision.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
+import time
+import warnings
+from collections import deque
+from multiprocessing.connection import wait as _wait_ready
 
 from repro.autotune.measure import Measurer
+from repro.engine import chaos
+from repro.engine.resilience import (
+    DEFAULT_POLICY,
+    AttemptRecord,
+    ExecutorReport,
+    RetryPolicy,
+    ShardFailure,
+)
+from repro.engine.work import split_shard
 
 
 def resolve_jobs(jobs: int | None) -> int:
@@ -28,14 +65,24 @@ def resolve_jobs(jobs: int | None) -> int:
     return jobs
 
 
-def evaluate_shard(task) -> list:
-    """Measure one shard; the top-level entry point pool workers run.
+def shard_indices(shard) -> tuple:
+    """The work-item indices of a shard (its identity in fault records
+    and chaos rolls)."""
+    return tuple(item.index for item in shard)
+
+
+def evaluate_shard(task, attempt: int = 0) -> list:
+    """Measure one shard; the entry point both workers and the inline
+    path run.
 
     ``task[0]`` is a registry name whenever the benchmark is registered
     (its dataclass holds closures, which do not pickle), so workers
     resolve it locally; unregistered benchmarks arrive as objects.
+    ``attempt`` is the supervisor's 0-based retry count, consulted only
+    by the chaos harness.
     """
     benchmark, gpu, params, repetitions, trial_index, shard = task
+    chaos.maybe_inject(shard_indices(shard), attempt)
     if isinstance(benchmark, str):
         from repro.kernels import get_benchmark
 
@@ -52,45 +99,386 @@ def evaluate_shard(task) -> list:
     ]
 
 
-class PoolExecutor:
-    """Runs shard tasks across a persistent ``multiprocessing`` pool.
+def _worker_main(conn) -> None:
+    """Worker loop: receive ``(tid, attempt, task)``, send back
+    ``(tid, "ok", pairs)`` or ``(tid, "error", message)``; a ``None``
+    message (or a closed pipe) is the clean-shutdown sentinel."""
+    chaos.mark_worker()
+    while True:
+        try:
+            msg = conn.recv()
+        except (EOFError, OSError, KeyboardInterrupt):
+            break
+        if msg is None:
+            break
+        tid, attempt, task = msg
+        try:
+            pairs = evaluate_shard(task, attempt)
+        except BaseException as e:  # report, don't die: the pipe is the contract
+            reply = (tid, "error", f"{type(e).__name__}: {e}")
+        else:
+            reply = (tid, "ok", pairs)
+        try:
+            conn.send(reply)
+        except (OSError, BrokenPipeError):
+            break
+    try:
+        conn.close()
+    except OSError:
+        pass
 
-    The pool is created on first parallel use and reused across calls --
-    a search-heavy run (fig6) issues one small batch per tuning step, and
-    re-forking workers for each would dominate the work.  ``close``
-    releases the workers; the executor remains usable afterwards (a new
-    pool is created on demand).
+
+class _WorkerHandle:
+    """One supervised worker process and its result pipe."""
+
+    __slots__ = ("proc", "conn", "tid", "started_at")
+
+    def __init__(self):
+        parent_conn, child_conn = multiprocessing.Pipe()
+        self.proc = multiprocessing.Process(
+            target=_worker_main, args=(child_conn,), daemon=True,
+        )
+        self.proc.start()
+        # Drop our copy of the child end: a dead worker must surface as
+        # EOF on `conn`, which requires no live handle to its peer here.
+        child_conn.close()
+        self.conn = parent_conn
+        self.tid = None
+        self.started_at = 0.0
+
+
+class _TaskState:
+    """A shard task's supervision state across attempts."""
+
+    __slots__ = ("tid", "task", "attempts", "eligible_at", "origin")
+
+    def __init__(self, tid, task, origin=None):
+        self.tid = tid
+        self.task = task
+        self.attempts = []  # AttemptRecord per failed attempt
+        self.eligible_at = 0.0
+        self.origin = origin if origin is not None else len(task[5])
+
+    @property
+    def shard(self):
+        return self.task[5]
+
+
+class _ParallelPathFailed(Exception):
+    """No worker could be spawned; carries the unfinished task states."""
+
+    def __init__(self, remaining, cause):
+        super().__init__(str(cause))
+        self.remaining = remaining
+        self.cause = cause
+
+
+class PoolExecutor:
+    """Runs shard tasks across persistent, supervised worker processes.
+
+    ``policy`` is the :class:`~repro.engine.resilience.RetryPolicy`
+    governing deadlines, retries, backoff, and bisection; the default
+    retries 3 times with no deadline.  Workers are created on first
+    parallel use and reused across calls; ``close`` releases them (the
+    executor remains usable afterwards -- new workers spawn on demand).
+    ``last_report`` holds the :class:`ExecutorReport` of the most recent
+    ``run``.
     """
 
-    def __init__(self, jobs: int | None = None):
+    def __init__(self, jobs: int | None = None,
+                 policy: RetryPolicy | None = None):
         self.jobs = resolve_jobs(jobs)
-        self._pool = None
+        self.policy = policy if policy is not None else DEFAULT_POLICY
+        self._workers: list = []
+        self._next_tid = 0
+        self.last_report: ExecutorReport | None = None
 
-    def run(self, tasks, progress=None) -> list:
+    # -- public entry point --------------------------------------------------
+
+    def run(self, tasks, progress=None, on_shard_done=None) -> list:
         """Evaluate every task, returning all ``(index, measurement)``
-        pairs; ``progress.advance`` is called per completed shard."""
+        pairs.
+
+        ``on_shard_done(task, pairs)`` fires as each shard completes --
+        the engine's incremental-checkpoint hook -- followed by
+        ``progress.advance``.  Faults are retried/quarantined per the
+        policy; accounting lands in ``self.last_report``.
+        """
         tasks = list(tasks)
+        report = ExecutorReport()
+        self.last_report = report
         out: list = []
-        if self.jobs <= 1 or len(tasks) <= 1:
-            for task in tasks:
-                pairs = evaluate_shard(task)
-                out.extend(pairs)
-                if progress is not None:
-                    progress.advance(len(pairs))
-            return out
-        if self._pool is None:
-            self._pool = multiprocessing.Pool(processes=self.jobs)
-        for pairs in self._pool.imap_unordered(evaluate_shard, tasks):
+
+        def emit(task, pairs):
             out.extend(pairs)
+            if on_shard_done is not None:
+                on_shard_done(task, pairs)
             if progress is not None:
                 progress.advance(len(pairs))
+
+        states = [self._make_state(task) for task in tasks]
+        if self.jobs <= 1 or len(tasks) <= 1:
+            self._run_states_inline(states, emit, report)
+            return out
+        try:
+            self._run_parallel(states, emit, report)
+        except _ParallelPathFailed as fail:
+            warnings.warn(
+                f"parallel sweep path unavailable ({fail.cause!r}); "
+                "degrading to inline execution",
+                RuntimeWarning, stacklevel=2,
+            )
+            report.degraded = True
+            self._run_states_inline(fail.remaining, emit, report)
         return out
 
+    # -- shared supervision logic --------------------------------------------
+
+    def _make_state(self, task, origin=None) -> _TaskState:
+        state = _TaskState(self._next_tid, task, origin=origin)
+        self._next_tid += 1
+        return state
+
+    def _handle_success(self, state, pairs, emit, report) -> None:
+        if state.attempts or state.origin > len(state.shard):
+            report.recovered += 1
+        emit(state.task, pairs)
+
+    def _handle_failure(self, state, fate, error, elapsed, report,
+                        now) -> list:
+        """Record one failed attempt; return the task states to requeue
+        (the same state on retry, two halves on bisection, none on
+        quarantine)."""
+        rec = AttemptRecord(
+            attempt=len(state.attempts), fate=fate, error=error,
+            elapsed_s=elapsed,
+        )
+        state.attempts.append(rec)
+        report.events.append((shard_indices(state.shard), rec))
+        if len(state.attempts) < self.policy.max_attempts:
+            report.retries += 1
+            state.eligible_at = now + self.policy.backoff(
+                len(state.attempts), shard_indices(state.shard)
+            )
+            return [state]
+        if len(state.shard) > 1:
+            # poison-shard bisection: isolate the offending item
+            children = []
+            for half in split_shard(state.shard):
+                child = self._make_state(
+                    state.task[:5] + (half,), origin=state.origin
+                )
+                child.eligible_at = now + self.policy.backoff(
+                    len(state.attempts), shard_indices(half)
+                )
+                children.append(child)
+            report.retries += len(children)
+            return children
+        report.failures.append(ShardFailure(
+            indices=shard_indices(state.shard),
+            attempts=tuple(state.attempts),
+            bisected_from=state.origin,
+        ))
+        return []
+
+    # -- inline path ---------------------------------------------------------
+
+    def _run_states_inline(self, states, emit, report) -> None:
+        queue = deque(sorted(states, key=lambda s: s.tid))
+        while queue:
+            state = queue.popleft()
+            now = time.monotonic()
+            if state.eligible_at > now:
+                time.sleep(state.eligible_at - now)
+            t0 = time.monotonic()
+            try:
+                pairs = evaluate_shard(state.task, len(state.attempts))
+            except (KeyboardInterrupt, SystemExit):
+                raise
+            except BaseException as e:
+                queue.extend(self._handle_failure(
+                    state, "raised", f"{type(e).__name__}: {e}",
+                    time.monotonic() - t0, report, time.monotonic(),
+                ))
+            else:
+                self._handle_success(state, pairs, emit, report)
+
+    # -- parallel path -------------------------------------------------------
+
+    def _spawn_worker(self) -> _WorkerHandle:
+        return _WorkerHandle()
+
+    def _discard_worker(self, worker, kill: bool = False) -> None:
+        """Remove a worker; ``kill`` terminates it (the fault path),
+        otherwise it is already dead and only needs reaping."""
+        if worker in self._workers:
+            self._workers.remove(worker)
+        if kill and worker.proc.is_alive():
+            worker.proc.terminate()
+        worker.proc.join(timeout=5.0)
+        try:
+            worker.conn.close()
+        except OSError:
+            pass
+
+    def _run_parallel(self, states, emit, report) -> None:
+        pending = list(states)   # waiting (or backing off)
+        inflight: dict = {}      # tid -> _TaskState
+        try:
+            while pending or inflight:
+                now = time.monotonic()
+                # reap workers that died while idle
+                for w in list(self._workers):
+                    if w.tid is None and not w.proc.is_alive():
+                        self._discard_worker(w)
+                # top up the fleet while there is assignable work
+                eligible = sorted(
+                    (s for s in pending if s.eligible_at <= now),
+                    key=lambda s: s.tid,
+                )
+                idle = [w for w in self._workers if w.tid is None]
+                spawn = min(
+                    max(0, len(eligible) - len(idle)),
+                    self.jobs - len(self._workers),
+                )
+                for _ in range(spawn):
+                    try:
+                        self._workers.append(self._spawn_worker())
+                    except OSError as e:
+                        if not self._workers and not inflight:
+                            raise _ParallelPathFailed(
+                                pending, e
+                            ) from e
+                        break
+                # assign eligible tasks to idle workers, tid order
+                idle = [w for w in self._workers if w.tid is None]
+                for worker, state in zip(idle, eligible):
+                    try:
+                        worker.conn.send(
+                            (state.tid, len(state.attempts), state.task)
+                        )
+                    except (OSError, ValueError):
+                        self._discard_worker(worker)
+                        continue
+                    worker.tid = state.tid
+                    worker.started_at = now
+                    inflight[state.tid] = state
+                    pending.remove(state)
+
+                busy = {
+                    w.conn: w for w in self._workers if w.tid is not None
+                }
+                if not busy:
+                    if pending:
+                        wake = min(s.eligible_at for s in pending)
+                        time.sleep(min(
+                            max(wake - time.monotonic(), 0.001),
+                            self.policy.poll_interval_s,
+                        ))
+                        continue
+                    continue  # inflight empty too -> loop exits
+                for conn in _wait_ready(
+                    list(busy), timeout=self.policy.poll_interval_s
+                ):
+                    worker = busy[conn]
+                    now = time.monotonic()
+                    try:
+                        msg = conn.recv()
+                    except (EOFError, OSError):
+                        # worker death (OOM-kill / os._exit / crash)
+                        state = inflight.pop(worker.tid)
+                        elapsed = now - worker.started_at
+                        self._discard_worker(worker)
+                        pending.extend(self._handle_failure(
+                            state, "worker-died",
+                            f"worker exited with code "
+                            f"{worker.proc.exitcode}",
+                            elapsed, report, now,
+                        ))
+                        continue
+                    tid, kind, payload = msg
+                    state = inflight.pop(tid)
+                    worker.tid = None
+                    if kind == "ok":
+                        self._handle_success(state, payload, emit, report)
+                    else:
+                        pending.extend(self._handle_failure(
+                            state, "raised", payload,
+                            now - worker.started_at, report, now,
+                        ))
+                # per-shard deadlines: kill and retry hung workers
+                if self.policy.shard_timeout_s is not None:
+                    now = time.monotonic()
+                    for worker in list(self._workers):
+                        if worker.tid is None:
+                            continue
+                        elapsed = now - worker.started_at
+                        if elapsed <= self.policy.shard_timeout_s:
+                            continue
+                        state = inflight.pop(worker.tid)
+                        self._discard_worker(worker, kill=True)
+                        pending.extend(self._handle_failure(
+                            state, "timeout",
+                            f"shard exceeded its "
+                            f"{self.policy.shard_timeout_s}s deadline",
+                            elapsed, report, now,
+                        ))
+        except _ParallelPathFailed:
+            raise
+        except BaseException:
+            # leave no half-assigned workers behind (KeyboardInterrupt,
+            # unexpected supervisor errors): fault-path teardown
+            self._abort()
+            raise
+
+    # -- lifecycle -----------------------------------------------------------
+
     def close(self) -> None:
-        if self._pool is not None:
-            self._pool.terminate()
-            self._pool.join()
-            self._pool = None
+        """Clean shutdown: sentinel + ``join`` per worker; ``terminate``
+        only for stragglers that ignore the sentinel."""
+        workers, self._workers = self._workers, []
+        for w in workers:
+            try:
+                if w.proc.is_alive():
+                    w.conn.send(None)
+            except (OSError, ValueError, BrokenPipeError):
+                pass
+        for w in workers:
+            w.proc.join(timeout=5.0)
+            if w.proc.is_alive():
+                w.proc.terminate()
+                w.proc.join(timeout=5.0)
+            try:
+                w.conn.close()
+            except OSError:
+                pass
+
+    def _abort(self) -> None:
+        """Fault-path teardown: terminate everything immediately."""
+        workers, self._workers = self._workers, []
+        for w in workers:
+            try:
+                if w.proc.is_alive():
+                    w.proc.terminate()
+            except Exception:
+                pass
+        for w in workers:
+            try:
+                w.proc.join(timeout=1.0)
+                w.conn.close()
+            except Exception:
+                pass
 
     def __del__(self):
-        self.close()
+        # Interpreter teardown may have dismantled arbitrary module
+        # state, so this must not call into close()'s pipe machinery:
+        # check liveness and terminate stragglers, swallowing everything.
+        workers = getattr(self, "_workers", None) or []
+        self._workers = []
+        for w in workers:
+            proc = getattr(w, "proc", None)
+            try:
+                if proc is not None and proc.is_alive():
+                    proc.terminate()
+            except Exception:
+                pass

@@ -24,6 +24,10 @@ class ProgressReporter:
     def finish(self) -> None:
         pass
 
+    def note(self, message: str) -> None:
+        """Out-of-band event worth surfacing (quarantines, degraded
+        execution); no-op by default."""
+
 
 NULL_PROGRESS = ProgressReporter()
 
@@ -61,6 +65,13 @@ class StderrProgress(ProgressReporter):
             self.stream.write("\n")
             self.stream.flush()
             self._started = False
+
+    def note(self, message: str) -> None:
+        """Print an event on its own line, then let the meter repaint."""
+        self.stream.write(f"\r{message}\n")
+        self.stream.flush()
+        if self._started:
+            self._paint(force=True)
 
     def _paint(self, force: bool = False) -> None:
         now = time.monotonic()

@@ -45,6 +45,20 @@ def build_pairs(pairs) -> list:
     ]
 
 
+def split_shard(shard) -> list:
+    """Halve a shard for poison-shard bisection.
+
+    Supervision splits a shard that exhausted its retry budget to
+    isolate the offending work item (see
+    :mod:`repro.engine.resilience`); both halves are non-empty for any
+    input of two or more items, so repeated splitting always terminates
+    at single items.
+    """
+    shard = list(shard)
+    mid = len(shard) // 2
+    return [shard[:mid], shard[mid:]]
+
+
 def shard_work(items, shards: int) -> list:
     """Split items into at most ``shards`` balanced lists.
 

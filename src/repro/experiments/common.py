@@ -108,6 +108,18 @@ def shared_engine() -> SweepEngine | None:
     return _SHARED_ENGINE[0]
 
 
+def shutdown_sweeps() -> None:
+    """Deterministically release the shared engine's workers and close
+    its cache store (the runner calls this on exit and on interrupt;
+    measurements checkpointed so far stay persisted)."""
+    engine = _SHARED_ENGINE[0] if _SHARED_ENGINE[1] else None
+    if engine is not None:
+        engine.close()
+        if engine.cache is not None:
+            engine.cache.close()
+    _SHARED_ENGINE[:] = [None, False]
+
+
 def exhaustive_sweep(
     kernel: str, gpu: GPUSpec, full: bool = False
 ) -> TuningResults:

@@ -223,6 +223,7 @@ def main(argv=None) -> int:
             for n in independents
         }
     rc = 0
+    interrupted = False
     try:
         for name in dict.fromkeys(chosen):
             if name in futures:
@@ -239,12 +240,24 @@ def main(argv=None) -> int:
             if args.out is not None:
                 args.out.mkdir(parents=True, exist_ok=True)
                 (args.out / f"{name}.txt").write_text(text + "\n")
+    except KeyboardInterrupt:
+        # no traceback: close the pools, keep what the incremental
+        # checkpointing already persisted, exit nonzero
+        interrupted = True
+        print(
+            "\n[runner] interrupted -- shutting down workers; "
+            "measurements completed so far are already persisted",
+            file=sys.stderr,
+        )
     finally:
         if executor is not None:
-            executor.shutdown()
-    if args.progress:
-        _print_engine_summary()
-    return rc
+            executor.shutdown(
+                wait=not interrupted, cancel_futures=interrupted
+            )
+        if args.progress:
+            _print_engine_summary()
+        common.shutdown_sweeps()
+    return 130 if interrupted else rc
 
 
 def _print_engine_summary() -> None:
@@ -255,10 +268,17 @@ def _print_engine_summary() -> None:
         return
     total = engine.total_measured + engine.total_hits
     rate = engine.total_hits / total if total else 0.0
+    resilience = ""
+    if engine.total_retries or engine.total_failures:
+        resilience = (
+            f"; {engine.total_retries} retried, "
+            f"{engine.total_recovered} recovered, "
+            f"{engine.total_failures} quarantined"
+        )
     print(
         f"[engine] {engine.total_measured} measured, "
         f"{engine.total_hits} cache hits ({rate:.1%} hit rate) "
-        f"over {total} evaluations",
+        f"over {total} evaluations{resilience}",
         file=sys.stderr,
     )
 

@@ -240,12 +240,14 @@ class TestSweepEngine:
     def test_pool_is_reused_across_runs_and_closeable(self):
         engine = SweepEngine(jobs=2)
         engine.sweep(ATAX, K20, tiny_space(), self.SIZES)
-        pool = engine._executor._pool
-        assert pool is not None
+        pids = sorted(w.proc.pid for w in engine._executor._workers)
+        assert pids
         engine.sweep(ATAX, K20, tiny_space(), (ATAX.sizes[2],))
-        assert engine._executor._pool is pool, "pool was not reused"
+        assert sorted(
+            w.proc.pid for w in engine._executor._workers
+        ) == pids, "workers were not reused"
         engine.close()
-        assert engine._executor._pool is None
+        assert engine._executor._workers == []
 
     def test_cached_rerun_at_least_5x_faster(self, tmp_path):
         """The acceptance bar: a warm sweep is >= 5x the cold one."""
