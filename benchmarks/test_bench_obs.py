@@ -1,0 +1,89 @@
+"""Observability overhead bench: instrumentation must be (nearly) free.
+
+The obs facade is compiled into every hot path -- the engine's shard
+loop, the measurer, the emulator's launch wrapper -- so its cost is
+bounded from two directions:
+
+- the *disabled* fast path (a module-attribute ``None`` check per call)
+  is the floor every untraced run pays; a warm sweep through a fully
+  *enabled* collector must stay within 5% of that floor (plus a small
+  absolute slack so micro-jitter on a ~100 ms sweep cannot flake CI),
+  which transitively bounds the disabled path itself;
+- a direct microbenchmark pins the per-call cost of the disabled facade
+  to single-digit microseconds, so instrumenting a new call site never
+  needs a performance discussion.
+"""
+
+import time
+
+from repro import obs
+from repro.arch import get_gpu
+from repro.engine import SweepEngine
+from repro.experiments.common import reduced_space
+from repro.kernels import get_benchmark
+
+
+def test_bench_traced_warm_sweep_overhead(benchmark, tmp_path):
+    bm = get_benchmark("atax")
+    gpu = get_gpu("kepler")
+    space = reduced_space()
+    sizes = bm.sizes[::2]
+
+    with SweepEngine(jobs=1, cache=tmp_path) as seeder:
+        baseline = seeder.sweep(bm, gpu, space, sizes)
+
+    obs.disable()
+    with SweepEngine(jobs=1, cache=tmp_path) as floor_engine:
+        floor_t = min(
+            _timed(floor_engine.sweep, bm, gpu, space, sizes)
+            for _ in range(3)
+        )
+
+    obs.enable()
+    try:
+        with SweepEngine(jobs=1, cache=tmp_path) as traced:
+            warm = benchmark.pedantic(
+                traced.sweep, args=(bm, gpu, space, sizes),
+                rounds=3, iterations=1,
+            )
+            stats = traced.last_stats
+        assert warm == baseline
+        assert stats.hit_rate == 1.0
+        assert obs.metrics.value(
+            "engine.runs", kernel=bm.name, gpu=gpu.name
+        ) == 3  # one per pedantic round, all collected
+    finally:
+        obs.disable()
+
+    on_t = benchmark.stats.stats.min
+    budget = floor_t * 1.05 + 0.05
+    assert on_t <= budget, (
+        f"traced warm sweep {on_t * 1e3:.1f} ms exceeds overhead "
+        f"budget {budget * 1e3:.1f} ms (floor {floor_t * 1e3:.1f} ms)"
+    )
+    print(f"\nfloor {floor_t * 1e3:.1f} ms -> traced {on_t * 1e3:.1f} ms "
+          f"(+{(on_t / floor_t - 1) * 100:.1f}%)")
+
+
+def test_bench_disabled_facade_call_cost(benchmark):
+    obs.disable()
+    n = 10_000
+
+    def hammer():
+        for i in range(n):
+            obs.add("engine.measured", 1, kernel="atax")
+            with obs.span("measure", key=i) as sp:
+                sp.annotate(size=i)
+
+    benchmark(hammer)
+    per_call = benchmark.stats.stats.min / (2 * n)
+    assert per_call < 5e-6, (
+        f"disabled obs facade costs {per_call * 1e9:.0f} ns/call"
+    )
+    print(f"\ndisabled facade: {per_call * 1e9:.0f} ns/call")
+
+
+def _timed(fn, *args) -> float:
+    t0 = time.perf_counter()
+    fn(*args)
+    return time.perf_counter() - t0

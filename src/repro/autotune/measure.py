@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro import obs
 from repro.arch.specs import GPUSpec
 from repro.codegen.compiler import CompiledModule, CompileOptions, compile_module
 from repro.kernels.base import Benchmark
@@ -108,6 +109,7 @@ class Measurer:
                 self.benchmark.name, list(self.benchmark.specs), options
             )
             self._modules[key] = mod
+            obs.add("measure.compiles", kernel=self.benchmark.name)
         return mod
 
     def measure(self, config: dict, size: int) -> VariantMeasurement:
@@ -156,6 +158,7 @@ class Measurer:
             except (KeyboardInterrupt, SystemExit, MeasurementError):
                 raise
             except Exception as e:
+                obs.add("measure.errors", kernel=self.benchmark.name)
                 raise MeasurementError(config, size, e) from e
         return out
 

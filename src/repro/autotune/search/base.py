@@ -36,6 +36,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Iterator
 
+from repro import obs
 from repro.autotune.space import ParameterSpace
 
 Objective = Callable[[dict], float]
@@ -245,6 +246,7 @@ class Search:
         identical either way."""
         self.reset(space, budget)
         batch_eval = getattr(objective, "batch", None)
+        round_no = 0
         while not self.done:
             k = self.remaining
             if k is not None and k <= 0:
@@ -252,11 +254,19 @@ class Search:
             configs = self.ask(k)
             if not configs:
                 break
-            if batch_eval is not None:
-                values = batch_eval(configs)
-            else:
-                values = [objective(c) for c in configs]
+            # one span per ask/tell round; engine batch spans nest here
+            with obs.span("round", key=round_no,
+                          args={"strategy": self.name,
+                                "batch": len(configs)}):
+                if batch_eval is not None:
+                    values = batch_eval(configs)
+                else:
+                    values = [objective(c) for c in configs]
             self.tell(configs, values)
+            obs.add("search.rounds", strategy=self.name)
+            obs.add("search.evaluations", len(configs),
+                    strategy=self.name)
+            round_no += 1
         return self.result()
 
     # -- internals -----------------------------------------------------------

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro import obs
 from repro.arch.specs import GPUSpec
 from repro.autotune.measure import Measurer
 from repro.autotune.results import TuningResults
@@ -118,7 +119,14 @@ class Autotuner:
                                              engine=eng)
         strategy = self.make_search(search, use_rule=use_rule, size=size,
                                     **search_kwargs)
-        sr = strategy.search(self.space, objective, budget=budget)
+        with obs.span(
+            "tune",
+            key=f"{self.benchmark.name}/{self.gpu.name}/{strategy.name}",
+            args={"size": size, "strategy": strategy.name},
+        ) as sp:
+            sr = strategy.search(self.space, objective, budget=budget)
+            sp.annotate(evaluations=sr.evaluations,
+                        best_value=sr.best_value)
         return TuneOutcome(search=sr, results=results, measurer=measurer)
 
     def sweep(self, sizes=None, space: ParameterSpace | None = None,

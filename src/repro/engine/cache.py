@@ -30,7 +30,6 @@ must never be able to abort the sweep it exists to accelerate:
 
 from __future__ import annotations
 
-import hashlib
 import json
 import os
 import sqlite3
@@ -40,6 +39,12 @@ from pathlib import Path
 from repro.arch.specs import GPUSpec
 from repro.autotune.measure import VariantMeasurement
 from repro.sim.timing import ModelParams
+from repro.util.hashing import stable_hash
+
+__all__ = [
+    "CACHE_SCHEMA_VERSION", "CacheStore", "context_key", "default_cache_dir",
+    "measurement_key", "point_key", "stable_hash",
+]
 
 CACHE_SCHEMA_VERSION = 1
 """Bump to invalidate all persisted measurements at once."""
@@ -54,16 +59,6 @@ def default_cache_dir() -> Path:
     if env:
         return Path(env).expanduser()
     return Path.home() / ".cache" / "repro-sweeps"
-
-
-def stable_hash(obj) -> str:
-    """SHA-256 hex digest of an object's canonical JSON form.
-
-    ``sort_keys`` makes dict ordering irrelevant; non-JSON values fall
-    back to ``repr`` (deterministic for the dataclasses used here).
-    """
-    blob = json.dumps(obj, sort_keys=True, default=repr)
-    return hashlib.sha256(blob.encode()).hexdigest()
 
 
 def context_key(

@@ -37,7 +37,8 @@ import time
 from contextlib import contextmanager
 from dataclasses import asdict, dataclass
 
-from repro.engine.cache import stable_hash
+from repro import obs
+from repro.util.hashing import stable_hash
 
 ENV_VAR = "REPRO_CHAOS"
 
@@ -131,16 +132,30 @@ def maybe_inject(indices, attempt: int = 0) -> None:
     if spec.attempts >= 0 and attempt >= spec.attempts:
         return
     if spec.kill_rate and _roll(spec, "kill", indices, attempt) < spec.kill_rate:
+        # this instant only survives on the inline path: a killed
+        # worker's capture buffer dies with it, and the supervisor's
+        # fault.worker-died instant covers the timeline instead
+        obs.instant(
+            "chaos.kill", args={"shard": list(indices), "attempt": attempt}
+        )
         if _IN_WORKER:
             os._exit(KILL_EXIT_CODE)
         raise ChaosError(
             f"chaos kill (inline) on shard {tuple(indices)} attempt {attempt}"
         )
     if spec.raise_rate and _roll(spec, "raise", indices, attempt) < spec.raise_rate:
+        obs.instant(
+            "chaos.raise", args={"shard": list(indices), "attempt": attempt}
+        )
         raise ChaosError(
             f"chaos raise on shard {tuple(indices)} attempt {attempt}"
         )
     if spec.delay_rate and _roll(spec, "delay", indices, attempt) < spec.delay_rate:
+        obs.instant(
+            "chaos.delay",
+            args={"shard": list(indices), "attempt": attempt,
+                  "delay_s": spec.delay_s},
+        )
         time.sleep(spec.delay_s)
 
 

@@ -33,6 +33,7 @@ import time
 from dataclasses import dataclass
 from pathlib import Path
 
+from repro import obs
 from repro.arch.specs import GPUSpec
 from repro.autotune.space import ParameterSpace
 from repro.engine.cache import CacheStore, context_key, point_key
@@ -162,6 +163,20 @@ class SweepEngine:
     def _execute(
         self, benchmark, gpu, items, params, repetitions, trial_index, label
     ) -> list:
+        # the root span of the engine's trace subtree ("sweep ..." or
+        # "batch ..."); shard/attempt/measure spans nest under it
+        with obs.span(label.split()[0], key=label,
+                      args={"points": len(items)}) as sp:
+            results = self._execute_traced(
+                benchmark, gpu, items, params, repetitions, trial_index,
+                label, sp,
+            )
+        return results
+
+    def _execute_traced(
+        self, benchmark, gpu, items, params, repetitions, trial_index,
+        label, sp,
+    ) -> list:
         t0 = time.monotonic()
         results: list = [None] * len(items)
         corrupt_before = self.cache.corrupt if self.cache is not None else 0
@@ -202,7 +217,12 @@ class SweepEngine:
             # is measured inline instead -- slower, never wrong.
             registered = BENCHMARKS.get(benchmark.name) is benchmark
             bench_ref = benchmark.name if registered else benchmark
-            shards = shard_work(misses, self.jobs if registered else 1)
+            # shards=None: one shard per compile group, independent of
+            # the worker count -- parallelism is capped at the group
+            # count anyway (groups never split), and a jobs-independent
+            # partition makes the trace's span tree identical at any
+            # jobs setting
+            shards = shard_work(misses, None if registered else 1)
             tasks = [
                 (bench_ref, gpu, params, repetitions, trial_index, shard)
                 for shard in shards
@@ -246,4 +266,23 @@ class SweepEngine:
         self.total_retries += self.last_stats.retries
         self.total_failures += self.last_stats.failures
         self.total_recovered += self.last_stats.recovered
+
+        stats = self.last_stats
+        sp.annotate(
+            hits=hits, measured=stats.measured, quarantined=quarantined,
+            retries=stats.retries, corrupt=stats.corrupt,
+        )
+        if obs.metrics is not None:
+            # the engine-level reconciliation set: points ==
+            # cache_hits + measured + quarantined, per (kernel, gpu)
+            lbl = {"kernel": benchmark.name, "gpu": gpu.name}
+            obs.add("engine.points", stats.total, **lbl)
+            obs.add("engine.cache_hits", hits, **lbl)
+            obs.add("engine.measured", stats.measured, **lbl)
+            obs.add("engine.quarantined", quarantined, **lbl)
+            obs.add("engine.retries", stats.retries, **lbl)
+            obs.add("engine.recovered", stats.recovered, **lbl)
+            obs.add("engine.corrupt_payloads", stats.corrupt, **lbl)
+            obs.add("engine.runs", 1, **lbl)
+            obs.observe("engine.run_seconds", stats.elapsed_s, **lbl)
         return results

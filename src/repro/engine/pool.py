@@ -44,6 +44,7 @@ import warnings
 from collections import deque
 from multiprocessing.connection import wait as _wait_ready
 
+from repro import obs
 from repro.autotune.measure import Measurer
 from repro.engine import chaos
 from repro.engine.resilience import (
@@ -54,6 +55,7 @@ from repro.engine.resilience import (
     ShardFailure,
 )
 from repro.engine.work import split_shard
+from repro.obs.trace import child_id
 
 
 def resolve_jobs(jobs: int | None) -> int:
@@ -91,18 +93,39 @@ def evaluate_shard(task, attempt: int = 0) -> list:
         benchmark, gpu, params=params,
         repetitions=repetitions, trial_index=trial_index,
     )
-    measurements = measurer.measure_many(
-        [(item.config, item.size) for item in shard]
-    )
+    if obs.tracer is not None:
+        # one measurement span per work item, parented under the ambient
+        # attempt span -- the item index keys the (deterministic) ID, so
+        # a worker-side span equals the inline-path span exactly
+        measurements = []
+        for item in shard:
+            with obs.span("measure", key=item.index,
+                          args={"size": item.size}):
+                measurements.extend(
+                    measurer.measure_many([(item.config, item.size)])
+                )
+    else:
+        measurements = measurer.measure_many(
+            [(item.config, item.size) for item in shard]
+        )
     return [
         (item.index, m) for item, m in zip(shard, measurements)
     ]
 
 
 def _worker_main(conn) -> None:
-    """Worker loop: receive ``(tid, attempt, task)``, send back
-    ``(tid, "ok", pairs)`` or ``(tid, "error", message)``; a ``None``
-    message (or a closed pipe) is the clean-shutdown sentinel."""
+    """Worker loop: receive ``(tid, attempt, task, trace_parent)``, send
+    back ``(tid, "ok", pairs, spans)`` or ``(tid, "error", message,
+    spans)``; a ``None`` message (or a closed pipe) is the
+    clean-shutdown sentinel.
+
+    ``trace_parent`` is the supervisor's attempt-span ID when tracing is
+    enabled (else ``None``): the worker captures its measurement spans
+    and chaos instants under it and ships the buffer with the reply --
+    on *both* outcomes, so a chaos-raise's instant survives.  A killed
+    worker never replies; its buffer dies with it, which is why
+    determinism guarantees exclude instants.
+    """
     chaos.mark_worker()
     while True:
         try:
@@ -111,15 +134,19 @@ def _worker_main(conn) -> None:
             break
         if msg is None:
             break
-        tid, attempt, task = msg
+        tid, attempt, task, trace_parent = msg
+        cap = (obs.begin_capture(trace_parent)
+               if trace_parent is not None else None)
         try:
             pairs = evaluate_shard(task, attempt)
         except BaseException as e:  # report, don't die: the pipe is the contract
-            reply = (tid, "error", f"{type(e).__name__}: {e}")
+            kind, payload = "error", f"{type(e).__name__}: {e}"
         else:
-            reply = (tid, "ok", pairs)
+            kind, payload = "ok", pairs
+        buffer = (obs.end_capture(cap)
+                  if trace_parent is not None else None)
         try:
-            conn.send(reply)
+            conn.send((tid, kind, payload, buffer))
         except (OSError, BrokenPipeError):
             break
     try:
@@ -150,18 +177,51 @@ class _WorkerHandle:
 class _TaskState:
     """A shard task's supervision state across attempts."""
 
-    __slots__ = ("tid", "task", "attempts", "eligible_at", "origin")
+    __slots__ = (
+        "tid", "task", "attempts", "eligible_at", "origin",
+        "span_parent", "shard_span_id", "span_start_wall",
+        "span_start_perf", "attempt_start_wall",
+    )
 
-    def __init__(self, tid, task, origin=None):
+    def __init__(self, tid, task, origin=None, span_parent=""):
         self.tid = tid
         self.task = task
         self.attempts = []  # AttemptRecord per failed attempt
         self.eligible_at = 0.0
         self.origin = origin if origin is not None else len(task[5])
+        self.span_parent = span_parent
+        # the shard span's deterministic identity: a pure function of
+        # the parent span and the item indices, so jobs=1 and jobs=N
+        # produce the same tree; bisection children parent under the
+        # shard they split from
+        self.shard_span_id = (
+            child_id(span_parent, "shard", list(shard_indices(task[5])))
+            if obs.tracer is not None else ""
+        )
+        self.span_start_wall = 0.0
+        self.span_start_perf = 0.0
+        self.attempt_start_wall = 0.0
 
     @property
     def shard(self):
         return self.task[5]
+
+    def attempt_span_id(self) -> str | None:
+        """The deterministic ID of the *next* attempt's span (``None``
+        when tracing is off) -- sent to workers as their capture parent
+        and used inline as the ambient parent."""
+        if obs.tracer is None:
+            return None
+        return child_id(self.shard_span_id, "attempt", len(self.attempts))
+
+    def mark_dispatch(self) -> None:
+        """Stamp wall/perf clocks as an attempt starts executing."""
+        if obs.tracer is None:
+            return
+        self.attempt_start_wall = time.time()
+        if self.span_start_wall == 0.0:
+            self.span_start_wall = self.attempt_start_wall
+            self.span_start_perf = time.perf_counter()
 
 
 class _ParallelPathFailed(Exception):
@@ -216,7 +276,11 @@ class PoolExecutor:
             if progress is not None:
                 progress.advance(len(pairs))
 
-        states = [self._make_state(task) for task in tasks]
+        span_parent = obs.current_parent_id()
+        states = [
+            self._make_state(task, span_parent=span_parent)
+            for task in tasks
+        ]
         if self.jobs <= 1 or len(tasks) <= 1:
             self._run_states_inline(states, emit, report)
             return out
@@ -234,14 +298,59 @@ class PoolExecutor:
 
     # -- shared supervision logic --------------------------------------------
 
-    def _make_state(self, task, origin=None) -> _TaskState:
-        state = _TaskState(self._next_tid, task, origin=origin)
+    def _make_state(self, task, origin=None, span_parent="") -> _TaskState:
+        state = _TaskState(
+            self._next_tid, task, origin=origin, span_parent=span_parent,
+        )
         self._next_tid += 1
         return state
 
+    def _record_attempt(self, state, fate, elapsed, error=None) -> None:
+        """Record this attempt's span (deterministic ID; the fate and
+        error ride in args only, since a chaos kill surfaces as
+        ``raised`` inline but ``worker-died`` in parallel).  Must run
+        *before* the failure record is appended so the attempt number
+        matches :meth:`_TaskState.attempt_span_id`."""
+        if obs.tracer is None:
+            return
+        n = len(state.attempts)
+        args = {"fate": fate}
+        if error is not None:
+            args["error"] = error
+        obs.record_span(
+            child_id(state.shard_span_id, "attempt", n),
+            state.shard_span_id, "attempt", n,
+            state.attempt_start_wall, elapsed, args=args,
+        )
+        if fate != "ok":
+            obs.instant(
+                f"fault.{fate}",
+                parent_id=child_id(state.shard_span_id, "attempt", n),
+                args={"shard": list(shard_indices(state.shard))},
+            )
+            obs.add("pool.faults", fate=fate)
+
+    def _record_shard(self, state, outcome) -> None:
+        """Close the shard's span when supervision of it ends (success,
+        bisection into halves, or quarantine)."""
+        if obs.tracer is None:
+            return
+        obs.record_span(
+            state.shard_span_id, state.span_parent, "shard",
+            list(shard_indices(state.shard)),
+            state.span_start_wall,
+            time.perf_counter() - state.span_start_perf,
+            args={"outcome": outcome, "items": len(state.shard)},
+        )
+
     def _handle_success(self, state, pairs, emit, report) -> None:
+        self._record_attempt(
+            state, "ok", time.time() - state.attempt_start_wall,
+        )
+        self._record_shard(state, "ok")
         if state.attempts or state.origin > len(state.shard):
             report.recovered += 1
+            obs.add("pool.recovered_shards")
         emit(state.task, pairs)
 
     def _handle_failure(self, state, fate, error, elapsed, report,
@@ -249,6 +358,7 @@ class PoolExecutor:
         """Record one failed attempt; return the task states to requeue
         (the same state on retry, two halves on bisection, none on
         quarantine)."""
+        self._record_attempt(state, fate, elapsed, error=error)
         rec = AttemptRecord(
             attempt=len(state.attempts), fate=fate, error=error,
             elapsed_s=elapsed,
@@ -257,23 +367,30 @@ class PoolExecutor:
         report.events.append((shard_indices(state.shard), rec))
         if len(state.attempts) < self.policy.max_attempts:
             report.retries += 1
+            obs.add("pool.retries")
             state.eligible_at = now + self.policy.backoff(
                 len(state.attempts), shard_indices(state.shard)
             )
             return [state]
         if len(state.shard) > 1:
             # poison-shard bisection: isolate the offending item
+            self._record_shard(state, "bisected")
+            obs.add("pool.bisections")
             children = []
             for half in split_shard(state.shard):
                 child = self._make_state(
-                    state.task[:5] + (half,), origin=state.origin
+                    state.task[:5] + (half,), origin=state.origin,
+                    span_parent=state.shard_span_id,
                 )
                 child.eligible_at = now + self.policy.backoff(
                     len(state.attempts), shard_indices(half)
                 )
                 children.append(child)
             report.retries += len(children)
+            obs.add("pool.retries", len(children))
             return children
+        self._record_shard(state, "quarantined")
+        obs.add("pool.quarantined_items", len(state.shard))
         report.failures.append(ShardFailure(
             indices=shard_indices(state.shard),
             attempts=tuple(state.attempts),
@@ -290,9 +407,13 @@ class PoolExecutor:
             now = time.monotonic()
             if state.eligible_at > now:
                 time.sleep(state.eligible_at - now)
+            state.mark_dispatch()
             t0 = time.monotonic()
             try:
-                pairs = evaluate_shard(state.task, len(state.attempts))
+                # the ambient attempt ID makes inline measure spans
+                # parent exactly like worker-captured ones
+                with obs.attach(state.attempt_span_id() or ""):
+                    pairs = evaluate_shard(state.task, len(state.attempts))
             except (KeyboardInterrupt, SystemExit):
                 raise
             except BaseException as e:
@@ -344,6 +465,7 @@ class PoolExecutor:
                 for _ in range(spawn):
                     try:
                         self._workers.append(self._spawn_worker())
+                        obs.add("pool.worker_spawns")
                     except OSError as e:
                         if not self._workers and not inflight:
                             raise _ParallelPathFailed(
@@ -354,16 +476,21 @@ class PoolExecutor:
                 idle = [w for w in self._workers if w.tid is None]
                 for worker, state in zip(idle, eligible):
                     try:
-                        worker.conn.send(
-                            (state.tid, len(state.attempts), state.task)
-                        )
+                        worker.conn.send((
+                            state.tid, len(state.attempts), state.task,
+                            state.attempt_span_id(),
+                        ))
                     except (OSError, ValueError):
                         self._discard_worker(worker)
                         continue
                     worker.tid = state.tid
                     worker.started_at = now
+                    state.mark_dispatch()
                     inflight[state.tid] = state
                     pending.remove(state)
+                obs.set_gauge(
+                    "pool.queue_depth", len(pending) + len(inflight)
+                )
 
                 busy = {
                     w.conn: w for w in self._workers if w.tid is not None
@@ -385,10 +512,12 @@ class PoolExecutor:
                     try:
                         msg = conn.recv()
                     except (EOFError, OSError):
-                        # worker death (OOM-kill / os._exit / crash)
+                        # worker death (OOM-kill / os._exit / crash);
+                        # its capture buffer died with it
                         state = inflight.pop(worker.tid)
                         elapsed = now - worker.started_at
                         self._discard_worker(worker)
+                        obs.add("pool.worker_deaths")
                         pending.extend(self._handle_failure(
                             state, "worker-died",
                             f"worker exited with code "
@@ -396,7 +525,8 @@ class PoolExecutor:
                             elapsed, report, now,
                         ))
                         continue
-                    tid, kind, payload = msg
+                    tid, kind, payload, buffer = msg
+                    obs.absorb(buffer)
                     state = inflight.pop(tid)
                     worker.tid = None
                     if kind == "ok":

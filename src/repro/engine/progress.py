@@ -11,6 +11,8 @@ from __future__ import annotations
 import sys
 import time
 
+from repro import obs
+
 
 class ProgressReporter:
     """No-op base reporter (and the null object used by default)."""
@@ -26,7 +28,11 @@ class ProgressReporter:
 
     def note(self, message: str) -> None:
         """Out-of-band event worth surfacing (quarantines, degraded
-        execution); no-op by default."""
+        execution).  Also lands in the trace as an instant, so notes
+        appear on the fault timeline even for the default no-op
+        reporter; subclasses that override must call ``super().note``.
+        """
+        obs.instant("note", args={"message": message})
 
 
 NULL_PROGRESS = ProgressReporter()
@@ -68,6 +74,7 @@ class StderrProgress(ProgressReporter):
 
     def note(self, message: str) -> None:
         """Print an event on its own line, then let the meter repaint."""
+        super().note(message)
         self.stream.write(f"\r{message}\n")
         self.stream.flush()
         if self._started:

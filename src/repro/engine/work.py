@@ -59,15 +59,25 @@ def split_shard(shard) -> list:
     return [shard[:mid], shard[mid:]]
 
 
-def shard_work(items, shards: int) -> list:
-    """Split items into at most ``shards`` balanced lists.
+def shard_work(items, shards: int | None) -> list:
+    """Split items into balanced lists, never splitting a compile group.
 
-    Items are grouped by compile key and whole groups are assigned
-    greedily (largest first) to the currently lightest shard; ties break
-    by shard number, so the partition is deterministic.  Empty shards are
+    With ``shards=None`` -- the engine's parallel path -- every compile
+    group becomes its own shard.  Since groups are never split anyway,
+    the worker count already caps effective parallelism at the group
+    count, so per-group sharding is physically identical to
+    worker-counted sharding while making the partition (and therefore
+    the trace span tree) a pure function of the work list, independent
+    of ``jobs``.  The supervisor's scheduler assigns however many shards
+    exist to however many workers are available.
+
+    With an integer ``shards``, items are grouped by compile key and
+    whole groups are assigned greedily (largest first) to the currently
+    lightest of at most ``shards`` buckets; ties break by shard number.
+    Either way the partition is deterministic and empty shards are
     dropped.
     """
-    if shards <= 1:
+    if shards is not None and shards <= 1:
         return [list(items)] if items else []
     groups: dict = {}
     for item in items:
@@ -76,6 +86,8 @@ def shard_work(items, shards: int) -> list:
     ordered = sorted(
         groups.items(), key=lambda kv: (-len(kv[1]), kv[0])
     )
+    if shards is None:
+        return [group for _, group in ordered]
     buckets = [[] for _ in range(shards)]
     loads = [0] * shards
     for _, group in ordered:

@@ -26,6 +26,7 @@ import time
 from concurrent.futures import ProcessPoolExecutor
 from pathlib import Path
 
+from repro import obs
 from repro.arch.specs import ALL_GPUS, get_gpu
 from repro.engine import default_cache_dir, resolve_jobs
 from repro.experiments import ALL_EXPERIMENTS, common
@@ -161,6 +162,11 @@ def main(argv=None) -> int:
                         help=f"cache location (default {default_cache_dir()})")
     parser.add_argument("--progress", action="store_true",
                         help="paint a sweep progress meter on stderr")
+    parser.add_argument("--trace", type=Path, default=None, metavar="PATH",
+                        help="write a Chrome trace-event JSON of the run "
+                             "(open in Perfetto / chrome://tracing)")
+    parser.add_argument("--metrics", type=Path, default=None, metavar="PATH",
+                        help="write a JSON metrics snapshot of the run")
     args = parser.parse_args(argv)
 
     chosen = args.experiments or list(ALL_EXPERIMENTS)
@@ -200,6 +206,12 @@ def main(argv=None) -> int:
                 f"no registered benchmark matches both --tag {args.tags} "
                 f"and --kernel {args.kernels}"
             )
+
+    # observability: collectors must exist before any engine or
+    # emulator work runs.  A metrics snapshot is also produced when only
+    # --trace is given (and vice versa) since both cost nothing extra.
+    if args.trace is not None or args.metrics is not None:
+        obs.enable()
 
     cache_dir = None
     if args.cache:
@@ -254,19 +266,33 @@ def main(argv=None) -> int:
             executor.shutdown(
                 wait=not interrupted, cancel_futures=interrupted
             )
-        if args.progress:
-            _print_engine_summary()
+        _print_engine_summary()
         common.shutdown_sweeps()
+        _write_obs_artifacts(args.trace, args.metrics)
     return 130 if interrupted else rc
 
 
 def _print_engine_summary() -> None:
     """One-line lifetime cache summary for the shared engine (stderr, so
-    stdout stays byte-identical with and without ``--progress``)."""
+    stdout stays byte-identical across runs).  Always printed when an
+    engine ran -- it used to be gated on ``--progress``, which hid the
+    lifetime cache stats from every default invocation.  Also mirrors
+    the lifetime counters into the metrics registry so the snapshot is
+    self-contained."""
     engine = common.shared_engine()
     if engine is None:
         return
     total = engine.total_measured + engine.total_hits
+    if not (total or engine.total_retries or engine.total_failures):
+        return  # engine configured but never ran (static experiments)
+    if obs.metrics is not None:
+        obs.set_gauge("engine.lifetime_measured", engine.total_measured)
+        obs.set_gauge("engine.lifetime_cache_hits", engine.total_hits)
+        obs.set_gauge("engine.lifetime_retries", engine.total_retries)
+        obs.set_gauge("engine.lifetime_recovered", engine.total_recovered)
+        obs.set_gauge("engine.lifetime_quarantined", engine.total_failures)
+        if engine.cache is not None:
+            obs.metrics.absorb_cache_stats(engine.cache)
     rate = engine.total_hits / total if total else 0.0
     resilience = ""
     if engine.total_retries or engine.total_failures:
@@ -281,6 +307,19 @@ def _print_engine_summary() -> None:
         f"over {total} evaluations{resilience}",
         file=sys.stderr,
     )
+
+
+def _write_obs_artifacts(trace_path, metrics_path) -> None:
+    """Export the run's trace and metrics (after the sweep engines shut
+    down, so every worker-shipped span buffer has been absorbed), plus
+    the ASCII span-tree summary on stderr for traced runs."""
+    if trace_path is not None:
+        obs.write_trace(trace_path)
+        print(f"[obs] trace written to {trace_path}", file=sys.stderr)
+        print(obs.render_tree(), file=sys.stderr)
+    if metrics_path is not None:
+        obs.write_metrics(metrics_path)
+        print(f"[obs] metrics written to {metrics_path}", file=sys.stderr)
 
 
 if __name__ == "__main__":

@@ -1,0 +1,194 @@
+"""Unified tracing + metrics for the sweep engine, search, and emulator.
+
+This module is the *facade* the rest of the codebase talks to; the whole
+subsystem is off by default and every call degrades to (near) nothing
+until :func:`enable` installs a collector.  Call sites therefore
+instrument unconditionally::
+
+    with obs.span("sweep", key=label, args={"points": n}) as sp:
+        ...
+        sp.annotate(hits=stats.hits)
+    obs.add("engine.measured", stats.measured, kernel=name)
+
+and pay only a module-attribute ``None`` check when observability is
+disabled -- the warm-sweep overhead budget (<=5%, asserted in
+``benchmarks/test_bench_obs.py``) is enforced against exactly this
+path.
+
+The span taxonomy, worker-buffer shipping protocol, and determinism
+contract live in :mod:`repro.obs.trace`; the metric catalog in
+:mod:`repro.obs.metrics`; export validation in :mod:`repro.obs.schema`;
+``python -m repro.obs.cli`` validates and pretty-prints exported
+artifacts (CI's ``obs`` job is its main caller).
+"""
+
+from __future__ import annotations
+
+import json
+from contextlib import contextmanager
+from pathlib import Path
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import (
+    NULL_SPAN,
+    ROOT,
+    Tracer,
+    ascii_tree,
+    child_id,
+    chrome_trace,
+)
+
+__all__ = [
+    "enable", "disable", "enabled", "tracer", "metrics",
+    "span", "attach", "instant", "record_span", "current_parent_id",
+    "child_id", "add", "set_gauge", "observe",
+    "begin_capture", "end_capture",
+    "absorb", "write_trace", "write_metrics", "render_tree",
+]
+
+tracer: Tracer | None = None
+metrics: MetricsRegistry | None = None
+
+
+def enable(trace: bool = True, metrics_: bool = True) -> None:
+    """Install fresh collectors (idempotent per component: enabling
+    again replaces them, which is what tests want)."""
+    global tracer, metrics
+    if trace:
+        tracer = Tracer()
+    if metrics_:
+        metrics = MetricsRegistry()
+
+
+def disable() -> None:
+    global tracer, metrics
+    tracer = None
+    metrics = None
+
+
+def enabled() -> bool:
+    return tracer is not None or metrics is not None
+
+
+# -- tracing ----------------------------------------------------------------
+
+@contextmanager
+def _null_cm():
+    yield NULL_SPAN
+
+
+def span(name: str, key=None, args: dict | None = None):
+    """Context manager timing one unit of work (no-op when disabled)."""
+    t = tracer
+    if t is None:
+        return _null_cm()
+    return t.span(name, key=key, args=args)
+
+
+def attach(parent_id: str):
+    """Context manager parenting subsequent spans under a remote ID."""
+    t = tracer
+    if t is None:
+        return _null_cm()
+    return t.attach(parent_id)
+
+
+def instant(name: str, args: dict | None = None,
+            parent_id: str | None = None) -> None:
+    t = tracer
+    if t is not None:
+        t.instant(name, args=args, parent_id=parent_id)
+
+
+def record_span(span_id: str, parent_id: str, name: str, key,
+                start_s: float, dur_s: float,
+                args: dict | None = None) -> None:
+    t = tracer
+    if t is not None:
+        t.record_span(span_id, parent_id, name, key, start_s, dur_s,
+                      args=args)
+
+
+def current_parent_id() -> str:
+    t = tracer
+    return t.current_parent if t is not None else ROOT
+
+
+def absorb(buffer) -> None:
+    """Merge a worker-shipped ``(spans, instants)`` buffer."""
+    t = tracer
+    if t is not None:
+        t.absorb(buffer)
+
+
+# -- worker-side capture ----------------------------------------------------
+
+def begin_capture(parent_id: str):
+    """Start capturing spans in this process under a remote parent
+    (worker processes, once per shard attempt).  Returns an opaque
+    capture handle for :func:`end_capture`; installs a fresh tracer so
+    the worker pays collection cost only while a traced attempt runs."""
+    global tracer
+    prev = tracer
+    tracer = Tracer()
+    tracer._stack.append(parent_id)
+    return prev
+
+
+def end_capture(handle) -> tuple[list, list] | None:
+    """Stop a :func:`begin_capture` session; return the shipped buffer
+    (``None`` when nothing was captured, to keep untraced replies
+    small)."""
+    global tracer
+    t, tracer = tracer, handle
+    if t is None:
+        return None
+    spans, instants = t.drain()
+    return (spans, instants) if (spans or instants) else None
+
+
+# -- metrics ----------------------------------------------------------------
+
+def add(name: str, value: float = 1, **labels) -> None:
+    m = metrics
+    if m is not None:
+        m.add(name, value, **labels)
+
+
+def set_gauge(name: str, value: float, **labels) -> None:
+    m = metrics
+    if m is not None:
+        m.set_gauge(name, value, **labels)
+
+
+def observe(name: str, value: float, **labels) -> None:
+    m = metrics
+    if m is not None:
+        m.observe(name, value, **labels)
+
+
+# -- export -----------------------------------------------------------------
+
+def write_trace(path: str | Path) -> dict:
+    """Export the collected trace as Chrome trace-event JSON; returns
+    the document (handy for tests)."""
+    t = tracer
+    doc = chrome_trace(t.spans, t.instants) if t is not None else \
+        chrome_trace([], [])
+    Path(path).write_text(json.dumps(doc))
+    return doc
+
+
+def write_metrics(path: str | Path) -> dict:
+    m = metrics
+    doc = m.snapshot() if m is not None else MetricsRegistry().snapshot()
+    Path(path).write_text(json.dumps(doc, indent=1, sort_keys=True))
+    return doc
+
+
+def render_tree() -> str:
+    """The collected spans as the human ASCII summary."""
+    t = tracer
+    if t is None:
+        return "(tracing disabled)"
+    return ascii_tree(t.spans, t.instants)

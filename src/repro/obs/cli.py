@@ -1,0 +1,111 @@
+"""Validate and inspect exported observability artifacts.
+
+``python -m repro.obs.cli validate --trace t.json --metrics m.json``
+exits nonzero listing every structural problem; ``--expect-spans``
+additionally requires named span categories to appear (CI uses it to
+assert a chaos sweep's trace really shows shards, attempts, and
+retries), and ``--expect-fault`` requires at least one chaos instant.
+``python -m repro.obs.cli tree t.json`` prints the ASCII summary tree
+of a trace file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.obs.schema import validate_metrics, validate_trace
+from repro.obs.trace import ascii_tree, spans_from_chrome
+
+
+def _load(path: str):
+    try:
+        return json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"error: cannot load {path}: {e}", file=sys.stderr)
+        raise SystemExit(2) from e
+
+
+def _cmd_validate(args) -> int:
+    problems: list[str] = []
+    trace_doc = None
+    if args.trace:
+        trace_doc = _load(args.trace)
+        problems += [f"{args.trace}: {p}" for p in validate_trace(trace_doc)]
+    if args.metrics:
+        doc = _load(args.metrics)
+        problems += [f"{args.metrics}: {p}" for p in validate_metrics(doc)]
+    if args.expect_spans and trace_doc is not None:
+        have = {
+            ev.get("cat")
+            for ev in trace_doc.get("traceEvents", ())
+            if isinstance(ev, dict) and ev.get("ph") == "X"
+        }
+        for name in args.expect_spans.split(","):
+            if name and name not in have:
+                problems.append(
+                    f"{args.trace}: expected span category {name!r},"
+                    f" found {sorted(have)}"
+                )
+    if args.expect_fault and trace_doc is not None:
+        # chaos.* instants are recorded at the injection site (lost when
+        # the fault kills the worker that buffered them); fault.* are
+        # the supervisor's own records and survive every fault kind
+        faults = [
+            ev for ev in trace_doc.get("traceEvents", ())
+            if isinstance(ev, dict) and ev.get("ph") == "i"
+            and str(ev.get("name", "")).startswith(("chaos.", "fault."))
+        ]
+        if not faults:
+            problems.append(
+                f"{args.trace}: expected at least one chaos.*/fault.*"
+                " instant"
+            )
+    for p in problems:
+        print(p, file=sys.stderr)
+    if not problems:
+        checked = [p for p in (args.trace, args.metrics) if p]
+        print(f"ok: {', '.join(checked)} valid")
+    return 1 if problems else 0
+
+
+def _cmd_tree(args) -> int:
+    spans, instants = spans_from_chrome(_load(args.trace))
+    print(ascii_tree(spans, instants))
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.obs.cli",
+        description="validate / inspect exported trace + metrics artifacts",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    v = sub.add_parser("validate", help="schema-check exported artifacts")
+    v.add_argument("--trace", help="Chrome trace-event JSON path")
+    v.add_argument("--metrics", help="metrics snapshot JSON path")
+    v.add_argument(
+        "--expect-spans",
+        help="comma-separated span categories that must appear in the trace",
+    )
+    v.add_argument(
+        "--expect-fault", action="store_true",
+        help="require at least one chaos.* instant in the trace",
+    )
+    v.set_defaults(func=_cmd_validate)
+
+    t = sub.add_parser("tree", help="print the ASCII span summary tree")
+    t.add_argument("trace", help="Chrome trace-event JSON path")
+    t.set_defaults(func=_cmd_tree)
+
+    args = parser.parse_args(argv)
+    if args.command == "validate" and not (args.trace or args.metrics):
+        parser.error("validate needs --trace and/or --metrics")
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

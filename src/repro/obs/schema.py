@@ -1,0 +1,129 @@
+"""Structural validation of exported trace and metrics documents.
+
+Hand-rolled (the container has no ``jsonschema``), but strict about the
+invariants downstream consumers rely on: Chrome-trace event shape so
+Perfetto loads the file, span-ID linkage so the tree reconstructs, and
+metric-series shape so dashboards can ingest the snapshot blind.  Each
+validator returns a list of problem strings -- empty means valid --
+so the CLI and tests can report every defect at once instead of
+stopping at the first.
+"""
+
+from __future__ import annotations
+
+from repro.obs.metrics import METRICS_SCHEMA
+from repro.obs.trace import ID_BITS, TRACE_SCHEMA
+
+_HEX = set("0123456789abcdef")
+
+
+def _is_span_id(v) -> bool:
+    return isinstance(v, str) and len(v) == ID_BITS and set(v) <= _HEX
+
+
+def validate_trace(doc) -> list[str]:
+    """Problems in a Chrome trace-event document (empty = valid)."""
+    problems: list[str] = []
+    if not isinstance(doc, dict):
+        return ["trace document is not a JSON object"]
+    if doc.get("metadata", {}).get("schema") != TRACE_SCHEMA:
+        problems.append(
+            f"metadata.schema != {TRACE_SCHEMA!r}:"
+            f" {doc.get('metadata', {}).get('schema')!r}"
+        )
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return problems + ["traceEvents is not a list"]
+
+    span_ids = set()
+    for i, ev in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(ev, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        ph = ev.get("ph")
+        if ph not in ("X", "i"):
+            problems.append(f"{where}: ph {ph!r} not in ('X', 'i')")
+            continue
+        for field, typ in (("name", str), ("ts", (int, float)),
+                           ("pid", int), ("tid", int)):
+            if not isinstance(ev.get(field), typ):
+                problems.append(f"{where}: bad {field}: {ev.get(field)!r}")
+        args = ev.get("args")
+        if not isinstance(args, dict):
+            problems.append(f"{where}: args missing")
+            continue
+        if ph == "X":
+            if not isinstance(ev.get("dur"), (int, float)) or ev["dur"] < 0:
+                problems.append(f"{where}: bad dur: {ev.get('dur')!r}")
+            if not _is_span_id(args.get("span_id")):
+                problems.append(
+                    f"{where}: bad args.span_id: {args.get('span_id')!r}"
+                )
+            else:
+                span_ids.add(args["span_id"])
+        parent = args.get("parent_id")
+        if parent is None or not (parent == "" or _is_span_id(parent)):
+            problems.append(f"{where}: bad args.parent_id: {parent!r}")
+
+    # linkage: every non-root parent_id must resolve to a span in the
+    # file, except parents lost with a killed worker's buffer -- spans
+    # never dangle (the supervisor records attempt spans itself), but a
+    # surviving instant may reference nothing.  Only "X" linkage is
+    # therefore structural.
+    for i, ev in enumerate(events):
+        if not (isinstance(ev, dict) and ev.get("ph") == "X"):
+            continue
+        parent = ev.get("args", {}).get("parent_id")
+        if parent and parent not in span_ids:
+            problems.append(
+                f"traceEvents[{i}]: span parent {parent!r} not in file"
+            )
+    return problems
+
+
+def validate_metrics(doc) -> list[str]:
+    """Problems in a metrics snapshot document (empty = valid)."""
+    problems: list[str] = []
+    if not isinstance(doc, dict):
+        return ["metrics document is not a JSON object"]
+    if doc.get("schema") != METRICS_SCHEMA:
+        problems.append(
+            f"schema != {METRICS_SCHEMA!r}: {doc.get('schema')!r}"
+        )
+    for section in ("counters", "gauges", "histograms"):
+        rows = doc.get(section)
+        if not isinstance(rows, list):
+            problems.append(f"{section} is not a list")
+            continue
+        for i, row in enumerate(rows):
+            where = f"{section}[{i}]"
+            if not isinstance(row, dict):
+                problems.append(f"{where}: not an object")
+                continue
+            if not isinstance(row.get("name"), str) or not row.get("name"):
+                problems.append(f"{where}: bad name: {row.get('name')!r}")
+            labels = row.get("labels")
+            if not (isinstance(labels, dict) and all(
+                    isinstance(k, str) for k in labels)):
+                problems.append(f"{where}: bad labels: {labels!r}")
+            if section == "histograms":
+                for field in ("count", "sum", "min", "max"):
+                    if not isinstance(row.get(field), (int, float)):
+                        problems.append(
+                            f"{where}: bad {field}: {row.get(field)!r}"
+                        )
+                bounds = row.get("bucket_bounds")
+                buckets = row.get("buckets")
+                if not (isinstance(bounds, list) and isinstance(buckets, list)
+                        and len(buckets) == len(bounds) + 1):
+                    problems.append(f"{where}: bucket shape mismatch")
+                elif isinstance(row.get("count"), int) and \
+                        sum(buckets) != row["count"]:
+                    problems.append(
+                        f"{where}: bucket counts sum {sum(buckets)}"
+                        f" != count {row['count']}"
+                    )
+            elif not isinstance(row.get("value"), (int, float)):
+                problems.append(f"{where}: bad value: {row.get('value')!r}")
+    return problems

@@ -1,0 +1,337 @@
+"""Hierarchical tracing with deterministic span identities.
+
+A *span* is one timed unit of work -- a sweep, a shard, one attempt of a
+shard, one measurement, a tuning run, an ask/tell round, an emulated
+launch.  Spans form a tree: every span carries its parent's ID, and its
+own ID is a pure function of ``(parent ID, name, key)`` through
+:func:`repro.util.hashing.stable_hash`.  That purity is the load-bearing
+design decision: a worker process can compute the exact same measurement
+span ID the coordinator would, without any shared counter, and two runs
+of the same sweep -- serial or sharded over any number of workers --
+produce the *identical* span tree (IDs, parentage, counts), differing
+only in timestamps.  Tests assert exactly that.
+
+The :class:`Tracer` is the collector.  In the coordinating process it
+also maintains an ambient parent stack, so ``with span(...)`` nests
+naturally; worker processes run a short-lived capture tracer per shard
+attempt (:func:`begin_capture`/:func:`end_capture`) whose buffer travels
+back over the worker's result pipe and is absorbed into the main
+collector.  Spans whose natural siblings share a key (two sweeps with
+the same label) are disambiguated by a deterministic per-parent
+occurrence counter -- deterministic because top-level spans are opened
+in program order by the single-threaded driver.
+
+*Instants* are zero-duration annotations (chaos injections, emulator
+speculation retractions) attached to the ambient span.  They are
+best-effort: a chaos-killed worker takes its buffered instants down with
+it, which is fine -- the supervisor's attempt span records the fate.
+Determinism guarantees therefore cover spans only, never instants.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+from repro.util.hashing import stable_hash
+
+ID_BITS = 16
+"""Hex digits of a span ID (64 bits of the stable hash)."""
+
+ROOT = ""
+"""The parent ID of a root span."""
+
+
+def child_id(parent_id: str, name: str, key, occurrence: int = 0) -> str:
+    """The deterministic span ID of ``(name, key)`` under ``parent_id``.
+
+    A pure function -- any process that knows the parent ID derives the
+    same child ID.  ``key`` must be JSON-able (ints, strings, tuples of
+    those) and unique among same-name siblings; when it is not,
+    ``occurrence`` disambiguates repeats in program order.
+    """
+    return stable_hash(["span", parent_id, name, key, occurrence])[:ID_BITS]
+
+
+@dataclass
+class Span:
+    """One completed unit of work in the trace tree."""
+
+    span_id: str
+    parent_id: str
+    name: str
+    key: object
+    start_s: float
+    """Wall-clock start (epoch seconds; Chrome trace wants microseconds)."""
+    dur_s: float
+    pid: int
+    args: dict = field(default_factory=dict)
+
+    def annotate(self, **kw) -> None:
+        self.args.update(kw)
+
+
+@dataclass
+class Instant:
+    """A zero-duration annotation attached to a span."""
+
+    parent_id: str
+    name: str
+    t_s: float
+    pid: int
+    args: dict = field(default_factory=dict)
+
+
+class _NullSpan:
+    """What ``span()`` yields when tracing is disabled."""
+
+    __slots__ = ()
+
+    def annotate(self, **kw) -> None:
+        pass
+
+
+NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Thread-safe span collector with an ambient parent stack."""
+
+    def __init__(self):
+        self.spans: list[Span] = []
+        self.instants: list[Instant] = []
+        self._stack: list[str] = []
+        self._occ: dict = {}
+        self._lock = threading.Lock()
+
+    # -- ambient context -----------------------------------------------------
+
+    @property
+    def current_parent(self) -> str:
+        return self._stack[-1] if self._stack else ROOT
+
+    @contextmanager
+    def attach(self, parent_id: str):
+        """Parent subsequent spans/instants under a remote span ID (the
+        supervisor's attempt span, from inside a worker or the inline
+        execution path) without creating a span here."""
+        self._stack.append(parent_id)
+        try:
+            yield
+        finally:
+            self._stack.pop()
+
+    @contextmanager
+    def span(self, name: str, key=None, args: dict | None = None):
+        """Open a span under the ambient parent; record it on exit.
+
+        The ID is allocated at *open* so children can parent to it; a
+        per-(parent, name, key) occurrence counter keeps repeated
+        same-key siblings distinct (deterministically, since the driver
+        opens spans in program order).
+        """
+        parent = self.current_parent
+        with self._lock:
+            occ_key = (parent, name, stable_hash(key) if key is not None
+                       else None)
+            occ = self._occ.get(occ_key, 0)
+            self._occ[occ_key] = occ + 1
+        sid = child_id(parent, name, key, occ)
+        sp = Span(
+            span_id=sid, parent_id=parent, name=name, key=key,
+            start_s=time.time(), dur_s=0.0, pid=os.getpid(),
+            args=dict(args) if args else {},
+        )
+        self._stack.append(sid)
+        t0 = time.perf_counter()
+        try:
+            yield sp
+        finally:
+            self._stack.pop()
+            sp.dur_s = time.perf_counter() - t0
+            with self._lock:
+                self.spans.append(sp)
+
+    # -- explicit records (the supervisor path) ------------------------------
+
+    def record_span(self, span_id: str, parent_id: str, name: str, key,
+                    start_s: float, dur_s: float,
+                    args: dict | None = None) -> None:
+        """Record a span whose identity and timing the caller computed
+        (shard/attempt spans, emitted by the pool supervisor)."""
+        with self._lock:
+            self.spans.append(Span(
+                span_id=span_id, parent_id=parent_id, name=name, key=key,
+                start_s=start_s, dur_s=dur_s, pid=os.getpid(),
+                args=dict(args) if args else {},
+            ))
+
+    def instant(self, name: str, args: dict | None = None,
+                parent_id: str | None = None) -> None:
+        with self._lock:
+            self.instants.append(Instant(
+                parent_id=(parent_id if parent_id is not None
+                           else self.current_parent),
+                name=name, t_s=time.time(), pid=os.getpid(),
+                args=dict(args) if args else {},
+            ))
+
+    # -- buffer shipping -----------------------------------------------------
+
+    def drain(self) -> tuple[list, list]:
+        """Return and clear the collected records (worker shipping)."""
+        with self._lock:
+            out = (self.spans, self.instants)
+            self.spans, self.instants = [], []
+            return out
+
+    def absorb(self, buffer) -> None:
+        """Merge a ``(spans, instants)`` buffer shipped from a worker."""
+        if not buffer:
+            return
+        spans, instants = buffer
+        with self._lock:
+            self.spans.extend(spans)
+            self.instants.extend(instants)
+
+
+# -- export -----------------------------------------------------------------
+
+TRACE_SCHEMA = "repro.obs.trace/1"
+
+
+def _span_tid(sp: Span) -> int:
+    """The Chrome track a span renders on.
+
+    Complete events on one (pid, tid) track must nest strictly by time,
+    but concurrent shards overlap; giving each shard subtree its own
+    track keeps every track well-nested *and* reads as "one row per
+    shard" in Perfetto.  Top-level driver spans (sweep/tune/round) are
+    opened by the single-threaded coordinator and nest properly on
+    track 0.
+    """
+    if sp.name == "shard":
+        return int(sp.span_id[:8], 16)
+    if sp.name == "attempt":
+        return int(sp.parent_id[:8], 16)
+    return 0
+
+
+def chrome_trace(spans, instants) -> dict:
+    """The collected records as Chrome trace-event JSON (Perfetto-viewable).
+
+    Span identity (``span_id``/``parent_id``) rides in ``args`` so the
+    tree is reconstructible from the exported file alone.
+    """
+    events = []
+    for sp in sorted(spans, key=lambda s: (s.start_s, s.span_id)):
+        events.append({
+            "ph": "X",
+            "name": sp.name if sp.key is None else f"{sp.name} {sp.key}",
+            "cat": sp.name,
+            "ts": sp.start_s * 1e6,
+            "dur": max(sp.dur_s, 1e-7) * 1e6,
+            "pid": sp.pid,
+            "tid": _span_tid(sp),
+            "args": {
+                "span_id": sp.span_id,
+                "parent_id": sp.parent_id,
+                **sp.args,
+            },
+        })
+    for ev in sorted(instants, key=lambda i: i.t_s):
+        events.append({
+            "ph": "i",
+            "name": ev.name,
+            "cat": ev.name,
+            "ts": ev.t_s * 1e6,
+            "pid": ev.pid,
+            "tid": 0,
+            "s": "p",
+            "args": {"parent_id": ev.parent_id, **ev.args},
+        })
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "metadata": {"schema": TRACE_SCHEMA},
+    }
+
+
+def spans_from_chrome(obj) -> tuple[list, list]:
+    """Rebuild ``(spans, instants)`` from an exported Chrome trace (the
+    ASCII renderer and CLI work from the file, not live state)."""
+    spans, instants = [], []
+    for ev in obj.get("traceEvents", ()):
+        args = dict(ev.get("args", {}))
+        if ev.get("ph") == "X":
+            spans.append(Span(
+                span_id=args.pop("span_id", ""),
+                parent_id=args.pop("parent_id", ""),
+                name=ev.get("cat", ev.get("name", "")),
+                key=None,
+                start_s=ev.get("ts", 0.0) / 1e6,
+                dur_s=ev.get("dur", 0.0) / 1e6,
+                pid=ev.get("pid", 0),
+                args=args,
+            ))
+        elif ev.get("ph") == "i":
+            instants.append(Instant(
+                parent_id=args.pop("parent_id", ""),
+                name=ev.get("name", ""),
+                t_s=ev.get("ts", 0.0) / 1e6,
+                pid=ev.get("pid", 0),
+                args=args,
+            ))
+    return spans, instants
+
+
+def ascii_tree(spans, instants=()) -> str:
+    """A human summary of the span tree, aggregated by name at each depth.
+
+    One line per ``(path of span names)``: how many spans, their total
+    wall time, and any instant annotations attached below them::
+
+        sweep (2)  4.21s
+          shard (8)  4.05s
+            attempt (11)  4.02s
+              measure (1536)  3.90s
+              ! chaos.raise (3)
+    """
+    by_parent: dict = {}
+    ids = {sp.span_id for sp in spans}
+    for sp in spans:
+        parent = sp.parent_id if sp.parent_id in ids else ROOT
+        by_parent.setdefault(parent, []).append(sp)
+    inst_by_parent: dict = {}
+    for ev in instants:
+        inst_by_parent.setdefault(ev.parent_id, []).append(ev)
+
+    lines: list[str] = []
+
+    def walk(parents: list[str], depth: int) -> None:
+        children: list[Span] = []
+        for p in parents:
+            children.extend(by_parent.get(p, ()))
+        groups: dict = {}
+        for sp in children:
+            groups.setdefault(sp.name, []).append(sp)
+        for name in sorted(groups, key=lambda n: min(
+                s.start_s for s in groups[n])):
+            members = groups[name]
+            total = sum(s.dur_s for s in members)
+            lines.append(
+                f"{'  ' * depth}{name} ({len(members)})  {total:.3f}s"
+            )
+            notes: dict = {}
+            for sp in members:
+                for ev in inst_by_parent.get(sp.span_id, ()):
+                    notes[ev.name] = notes.get(ev.name, 0) + 1
+            for note, n in sorted(notes.items()):
+                lines.append(f"{'  ' * (depth + 1)}! {note} ({n})")
+            walk([sp.span_id for sp in members], depth + 1)
+
+    walk([ROOT], 0)
+    return "\n".join(lines) if lines else "(no spans recorded)"

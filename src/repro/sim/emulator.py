@@ -45,6 +45,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import obs
 from repro.codegen.compiler import CompiledKernel, CompiledModule
 from repro.ptx.cfg import CFG, EXIT, build_cfg
 from repro.ptx.instruction import Imm, Instruction, ParamRef, Reg, SReg
@@ -781,23 +782,51 @@ def emulate_kernel(
                 memory.alloc(p.name, np.asarray(inputs[p.name]).copy())
     if sanitizer is not None:
         sanitizer.begin_launch(ck.ir.name, bc, ck.ir.static_smem_bytes)
-    t0 = time.perf_counter()
-    if emulation_mode(mode) == "vector":
-        from repro.sim.vector import run_stacked
+    with obs.span("launch", key=ck.ir.name,
+                  args={"tc": tc, "bc": bc}) as sp:
+        t0 = time.perf_counter()
+        if emulation_mode(mode) == "vector":
+            from repro.sim.vector import run_stacked
 
-        result, path, steps = run_stacked(ck, inputs, tc, bc, memory,
-                                          sanitizer=sanitizer)
-    else:
-        result = _KernelRun(ck, inputs, tc, bc, memory,
-                            sanitizer=sanitizer).run()
-        path, steps = "scalar", result.total_issues
-    result.profile = LaunchProfile(
-        mode=path,
-        wall_seconds=time.perf_counter() - t0,
-        issue_slots=result.total_issues,
-        dispatch_steps=steps,
-    )
+            result, path, steps = run_stacked(ck, inputs, tc, bc, memory,
+                                              sanitizer=sanitizer)
+        else:
+            result = _KernelRun(ck, inputs, tc, bc, memory,
+                                sanitizer=sanitizer).run()
+            path, steps = "scalar", result.total_issues
+        result.profile = profile = LaunchProfile(
+            mode=path,
+            wall_seconds=time.perf_counter() - t0,
+            issue_slots=result.total_issues,
+            dispatch_steps=steps,
+        )
+        sp.annotate(mode=path, issue_slots=profile.issue_slots,
+                    stack_width=round(profile.mean_stack_width, 2))
+    _record_profile(ck.ir.name, profile)
     return result, memory
+
+
+def _record_profile(kernel: str, profile: LaunchProfile) -> None:
+    """Feed a launch's :class:`LaunchProfile` into the metrics registry
+    (previously the wall-time/path data was dropped once the result was
+    consumed).  Per ``(kernel, mode)``: launch/issue/wall totals, a
+    stack-width histogram, and a derived issues-per-second gauge -- the
+    emulator-throughput numbers suite runs report."""
+    m = obs.metrics
+    if m is None:
+        return
+    lbl = {"kernel": kernel, "mode": profile.mode}
+    m.add("emu.launches", 1, **lbl)
+    m.add("emu.issue_slots", profile.issue_slots, **lbl)
+    m.add("emu.wall_seconds", profile.wall_seconds, **lbl)
+    m.observe("emu.stack_width", profile.mean_stack_width, **lbl)
+    wall = m.value("emu.wall_seconds", **lbl)
+    if wall > 0:
+        m.set_gauge(
+            "emu.issues_per_second",
+            m.value("emu.issue_slots", **lbl) / wall,
+            **lbl,
+        )
 
 
 def run_benchmark_emulated(
@@ -821,9 +850,11 @@ def run_benchmark_emulated(
                 memory.alloc(p.name, np.asarray(inputs[p.name]).copy())
                 seen.add(p.name)
     total = EmulationResult()
-    for ck in module:
-        res, _ = emulate_kernel(ck, inputs, tc, bc, memory, mode=mode,
-                                sanitizer=sanitizer)
-        total.merge(res)
+    with obs.span("emulate", key=module.name,
+                  args={"kernels": len(module), "tc": tc, "bc": bc}):
+        for ck in module:
+            res, _ = emulate_kernel(ck, inputs, tc, bc, memory, mode=mode,
+                                    sanitizer=sanitizer)
+            total.merge(res)
     outputs = {name: memory.allocation(name).data for name in seen}
     return outputs, total

@@ -58,6 +58,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import obs
 from repro.codegen.compiler import CompiledKernel
 from repro.ptx.cfg import EXIT
 from repro.ptx.instruction import Imm, Instruction, ParamRef, Reg, SReg
@@ -158,6 +159,8 @@ def run_stacked(
         if snap is None:
             raise
     memory.restore(snap)
+    obs.instant("emu.retract", args={"kernel": ck.ir.name})
+    obs.add("emu.retractions", kernel=ck.ir.name)
     if sanitizer is not None:
         # drop accesses observed by the abandoned speculative run
         sanitizer.begin_launch(ck.ir.name, bc, ck.ir.static_smem_bytes,

@@ -1,0 +1,25 @@
+"""The repo-wide stable content digest.
+
+Everything that needs a deterministic identity -- cache keys, chaos
+fault rolls, retry jitter, trace span IDs -- derives it from
+:func:`stable_hash`, so "same content, same identity" holds across
+processes and interpreter runs.  The helper lives here (leaf of the
+import graph) so low-level packages like :mod:`repro.obs` can use it
+without importing the engine; :mod:`repro.engine.cache` re-exports it
+for its historical callers.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+
+def stable_hash(obj) -> str:
+    """SHA-256 hex digest of an object's canonical JSON form.
+
+    ``sort_keys`` makes dict ordering irrelevant; non-JSON values fall
+    back to ``repr`` (deterministic for the dataclasses used here).
+    """
+    blob = json.dumps(obj, sort_keys=True, default=repr)
+    return hashlib.sha256(blob.encode()).hexdigest()

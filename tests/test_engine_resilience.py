@@ -130,8 +130,9 @@ class TestFaultRecovery:
             out = engine.sweep(ATAX, K20, tiny_space(), SIZES)
         assert_byte_identical(out, serial)
         stats = engine.last_stats
-        assert stats.retries == 1  # one shard inline, faulted once
-        assert stats.recovered == 1
+        # one shard per compile group (4 in tiny_space), each faulted once
+        assert stats.retries == 4
+        assert stats.recovered == 4
         assert stats.failures == 0
         assert engine.last_failures == []
 
@@ -147,7 +148,7 @@ class TestFaultRecovery:
         assert_byte_identical(out, serial)
         stats = engine.last_stats
         assert stats.failures == 0
-        assert stats.retries == stats.recovered == len(report.events) == 2
+        assert stats.retries == stats.recovered == len(report.events) == 4
         assert {rec.fate for _, rec in report.events} == {"worker-died"}
         assert all("exited with code" in rec.error
                    for _, rec in report.events)
@@ -164,7 +165,7 @@ class TestFaultRecovery:
             engine.close()
         assert_byte_identical(out, serial)
         assert engine.last_stats.failures == 0
-        assert engine.last_stats.recovered == 2
+        assert engine.last_stats.recovered == 4
         assert {rec.fate for _, rec in report.events} == {"timeout"}
         assert all(rec.elapsed_s >= 0.3 for _, rec in report.events)
 
@@ -189,7 +190,9 @@ class TestFaultRecovery:
         failure = engine.last_failures[0]
         assert isinstance(failure, ShardFailure)
         assert failure.indices == (poison,)
-        assert failure.bisected_from == len(serial)
+        # bisection starts from the poison item's compile-group shard
+        # (sharding is per compile group; tiny_space has 4 equal groups)
+        assert failure.bisected_from == len(serial) // 4
         assert len(failure.attempts) == 2
         assert all("ChaosError" in rec.error for rec in failure.attempts)
         stats = engine.last_stats
