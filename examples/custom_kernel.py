@@ -18,7 +18,9 @@ Run: python examples/custom_kernel.py
 import numpy as np
 
 from repro.arch import get_gpu
-from repro.autotune import Autotuner
+# a custom, unregistered benchmark can't be addressed by name through
+# repro.api.tune, so it constructs the tuner directly
+from repro.autotune.tuner import Autotuner
 from repro.codegen import dsl
 from repro.codegen.compiler import CompileOptions, compile_module
 from repro.core import StaticAnalyzer

@@ -8,13 +8,15 @@ Walks the paper's whole pipeline in one script:
 3. run the static analyzer: occupancy, instruction mix, intensity,
    suggested thread counts T* and the rule-based pruning;
 4. hand the suggestion to the autotuner's *static search module* and
-   compare it against full exhaustive autotuning.
+   compare it against full exhaustive autotuning -- through
+   ``repro.api``, the same entry point the tuning service exposes over
+   the wire.
 
 Run: python examples/quickstart.py
 """
 
+from repro.api import tune
 from repro.arch import get_gpu
-from repro.autotune import Autotuner
 from repro.core import StaticAnalyzer
 from repro.kernels import get_benchmark
 
@@ -37,35 +39,33 @@ def main() -> None:
     print()
 
     # ---- 4: autotune, exhaustive vs static-model-pruned -----------------
-    tuner = Autotuner(benchmark, gpu)
-
-    exhaustive = tuner.tune(size=SIZE, search="exhaustive")
+    exhaustive = tune("atax", "kepler", SIZE, search="exhaustive")
     print(
-        f"exhaustive : best {exhaustive.best_seconds * 1e6:8.1f} us  "
+        f"exhaustive : best {exhaustive.best_value * 1e6:8.1f} us  "
         f"config {exhaustive.best_config}  "
-        f"({exhaustive.search.evaluations} measurements)"
+        f"({exhaustive.evaluations} measurements)"
     )
 
-    static = tuner.tune(size=SIZE, search="static")
+    static = tune("atax", "kepler", SIZE, search="static")
     print(
-        f"static     : best {static.best_seconds * 1e6:8.1f} us  "
+        f"static     : best {static.best_value * 1e6:8.1f} us  "
         f"config {static.best_config}  "
-        f"({static.search.evaluations} measurements, "
-        f"{static.search.space_reduction:.1%} of the space removed)"
+        f"({static.evaluations} measurements, "
+        f"{static.space_reduction:.1%} of the space removed)"
     )
 
-    rb = tuner.tune(size=SIZE, search="static", use_rule=True)
+    rb = tune("atax", "kepler", SIZE, search="static", use_rule=True)
     print(
-        f"static+rule: best {rb.best_seconds * 1e6:8.1f} us  "
+        f"static+rule: best {rb.best_value * 1e6:8.1f} us  "
         f"config {rb.best_config}  "
-        f"({rb.search.evaluations} measurements, "
-        f"{rb.search.space_reduction:.1%} of the space removed)"
+        f"({rb.evaluations} measurements, "
+        f"{rb.space_reduction:.1%} of the space removed)"
     )
 
-    loss = rb.best_seconds / exhaustive.best_seconds - 1.0
+    loss = rb.best_value / exhaustive.best_value - 1.0
     print(
         f"\nThe model-pruned search used "
-        f"{rb.search.evaluations / exhaustive.search.evaluations:.1%} of the "
+        f"{rb.evaluations / exhaustive.evaluations:.1%} of the "
         f"measurements and found a variant within {loss:+.1%} of the "
         f"exhaustive optimum."
     )

@@ -8,8 +8,9 @@ exhaustive optimum -- the trade-off the paper's Sec. IV-C discusses.
 
 Every strategy proposes ask/tell batches, so a single shared sweep
 engine shards all of their evaluations across worker processes -- pass
-a jobs count to see the whole comparison accelerate (add a CacheStore
-to the engine to also persist the measurements across runs).
+a jobs count to see the whole comparison accelerate. The runs go
+through ``repro.api.tune``, the same entry point the tuning service
+drives remotely (add ``cache=`` to persist measurements across runs).
 
 Run: python examples/search_strategies.py [kernel] [size] [jobs]
 """
@@ -17,24 +18,18 @@ Run: python examples/search_strategies.py [kernel] [size] [jobs]
 import sys
 import time
 
-from repro.arch import get_gpu
-from repro.autotune import Autotuner
+from repro.api import tune
 from repro.engine import SweepEngine
-from repro.kernels import get_benchmark
 from repro.util.tables import ascii_table
 
 
 def main(kernel: str = "bicg", size: int = 256, jobs: int = 1) -> None:
-    gpu = get_gpu("kepler")
-    benchmark = get_benchmark(kernel)
-    tuner = Autotuner(benchmark, gpu)
-
     with SweepEngine(jobs=jobs) as engine:
         t0 = time.time()
-        exhaustive = tuner.tune(size=size, search="exhaustive",
-                                engine=engine)
-        base = exhaustive.best_seconds
-        rows = [["exhaustive", exhaustive.search.evaluations, "0.0%",
+        exhaustive = tune(kernel, "kepler", size, search="exhaustive",
+                          engine=engine)
+        base = exhaustive.best_value
+        rows = [["exhaustive", exhaustive.evaluations, "0.0%",
                  f"{base * 1e6:.1f}", "1.000"]]
         print(f"(exhaustive baseline took {time.time() - t0:.1f}s "
               f"of host time)")
@@ -50,20 +45,20 @@ def main(kernel: str = "bicg", size: int = 256, jobs: int = 1) -> None:
                                     budget=60)),
         ]
         for label, kwargs in runs:
-            out = tuner.tune(size=size, engine=engine, **kwargs)
+            out = tune(kernel, "kepler", size, engine=engine, **kwargs)
             rows.append([
                 label,
-                out.search.evaluations,
-                f"{out.search.space_reduction:.1%}",
-                f"{out.best_seconds * 1e6:.1f}",
-                f"{out.best_seconds / base:.3f}",
+                out.evaluations,
+                f"{out.space_reduction:.1%}",
+                f"{out.best_value * 1e6:.1f}",
+                f"{out.best_value / base:.3f}",
             ])
 
     print(ascii_table(
         ["Search", "Measurements", "Space removed", "Best (us)",
          "vs optimum"],
         rows,
-        title=f"Search strategies on {kernel!r} (N={size}, {gpu.name}, "
+        title=f"Search strategies on {kernel!r} (N={size}, kepler, "
               f"5,120-variant space)",
         align_right=False,
     ))

@@ -1,0 +1,112 @@
+#!/usr/bin/env python
+"""Drive the autotuning service: four concurrent sessions, one store.
+
+Connects to a running server when ``REPRO_SERVICE_URL`` is set (start
+one with ``python -m repro.experiments.runner serve``); otherwise it
+spins up an in-process server on a temporary measurement store, so the
+example is self-contained.
+
+Four clients submit different tuning problems at the same time; the
+server's worker fleet shards their measurements over a shared
+measurement store, so overlapping points are measured once and every
+later request is served warm. With ``REPRO_SERVICE_EXPECT_WARM=1`` the
+script asserts that the whole run was served from the store (the CI
+service job uses this for its second pass).
+
+Run: python examples/service_client.py
+"""
+
+import contextlib
+import os
+import sys
+import tempfile
+import threading
+
+from repro.client import connect
+from repro.util.tables import ascii_table
+
+#: four distinct workloads: two kernels, two GPUs, two tenants
+WORKLOADS = [
+    dict(kernel="atax", gpu="kepler", search="static", use_rule=True),
+    dict(kernel="bicg", gpu="kepler", search="static", tenant="team-a"),
+    dict(kernel="atax", gpu="fermi", search="random", budget=40,
+         seed=11),
+    dict(kernel="bicg", gpu="fermi", search="static", use_rule=True,
+         tenant="team-b"),
+]
+SIZE = 64
+
+
+def main() -> int:
+    url = os.environ.get("REPRO_SERVICE_URL")
+    expect_warm = os.environ.get("REPRO_SERVICE_EXPECT_WARM") == "1"
+
+    with contextlib.ExitStack() as stack:
+        if url is None:
+            from repro.service.server import ThreadedServer
+
+            cache_dir = stack.enter_context(tempfile.TemporaryDirectory())
+            server = stack.enter_context(
+                ThreadedServer(cache_dir=cache_dir, drainers=2)
+            )
+            url = server.url
+            print(f"(no REPRO_SERVICE_URL; started a local server at {url})")
+
+        client = connect(url)  # performs the version handshake
+        info = client.hello()
+        print(f"connected to {info.server} speaking protocol "
+              f"{info.protocol}\n")
+        measured_before = client.store_stats().measured
+
+        results: dict[int, object] = {}
+        errors: list = []
+
+        def drive(i: int) -> None:
+            try:
+                c = connect(url, handshake=False)
+                results[i] = c.tune(size=SIZE, **WORKLOADS[i])
+            except Exception as e:
+                errors.append((i, e))
+
+        threads = [
+            threading.Thread(target=drive, args=(i,))
+            for i in range(len(WORKLOADS))
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        if errors:
+            for i, e in errors:
+                print(f"session {i} failed: {e}", file=sys.stderr)
+            return 1
+
+        rows = []
+        for i, w in enumerate(WORKLOADS):
+            r = results[i]
+            label = w["search"] + ("+rule" if w.get("use_rule") else "")
+            rows.append([
+                w["kernel"], w["gpu"], label, r.evaluations,
+                f"{r.best_value * 1e6:.1f}", dict(r.best_config),
+            ])
+        print(ascii_table(
+            ["Kernel", "GPU", "Search", "Evals", "Best (us)", "Config"],
+            rows,
+            title=f"{len(WORKLOADS)} concurrent sessions (N={SIZE})",
+            align_right=False,
+        ))
+
+        stats = client.store_stats()
+        fresh = stats.measured - measured_before
+        print(f"\nstore: {stats.entries} entries, {fresh} points measured "
+              f"this run, {stats.served_from_cache} served from the store "
+              f"over the server's lifetime")
+        if expect_warm and fresh:
+            print(f"expected a fully warm run but the fleet measured "
+                  f"{fresh} fresh points", file=sys.stderr)
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -18,8 +18,8 @@ Run: python examples/suite_tour.py [arch] [jobs]
 import sys
 import time
 
+from repro.api import tune
 from repro.arch import get_gpu
-from repro.autotune import Autotuner
 from repro.engine import SweepEngine
 from repro.kernels import TAGS, list_benchmarks
 from repro.suite import corpus_members, corpus_sizes, corpus_space
@@ -41,17 +41,17 @@ def main(arch: str = "kepler", jobs: int = 1) -> None:
         for bm in corpus_members():
             space = corpus_space(bm)
             size = corpus_sizes(bm)[-1]
-            tuner = Autotuner(bm, gpu, space=space)
-            exhaustive = tuner.tune(size=size, search="exhaustive",
-                                    engine=engine)
-            static = tuner.tune(size=size, search="static", engine=engine)
+            exhaustive = tune(bm.name, arch, size, search="exhaustive",
+                              space=space, engine=engine)
+            static = tune(bm.name, arch, size, search="static",
+                          space=space, engine=engine)
             rows.append([
                 bm.name,
                 ", ".join(bm.tags),
                 size,
-                static.search.evaluations,
-                f"{static.search.space_reduction:.1%}",
-                f"{static.best_seconds / exhaustive.best_seconds:.3f}",
+                static.evaluations,
+                f"{static.space_reduction:.1%}",
+                f"{static.best_value / exhaustive.best_value:.3f}",
             ])
 
     print(ascii_table(

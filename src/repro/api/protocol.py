@@ -1,0 +1,733 @@
+"""The versioned, JSON-serializable public protocol.
+
+Every request and response the autotuning service speaks -- and the
+in-process :func:`repro.api.tune` facade returns -- is one of the frozen
+dataclasses below.  They are the *redesigned public API*: where callers
+used to construct ``Autotuner``/``Measurer`` and pass ad-hoc in-process
+dataclasses around, the supported surface is now these wire types plus
+the three verbs ``tune`` / ``serve`` / ``connect``.
+
+Design rules (enforced by ``tests/test_api_protocol.py``):
+
+- **Strict round-trips.**  ``T.from_json(t.to_json()) == t`` for every
+  type, including non-finite floats (an unlaunchable variant measures
+  ``inf``; strict wire JSON has no ``Infinity`` literal, so non-finite
+  floats travel as the strings ``"Infinity"`` / ``"-Infinity"`` /
+  ``"NaN"`` in float-typed fields only -- configuration values are never
+  float-decoded).
+- **Versioning.**  Every document carries ``"v": PROTOCOL_VERSION``
+  (``major.minor``).  A parser rejects a missing, malformed, or
+  major-incompatible version with :class:`ProtocolError`; a newer minor
+  under the same major is accepted (additive evolution).
+- **Unknown-field tolerance.**  Parsers read the fields they know and
+  ignore the rest, so a newer peer can add fields without breaking an
+  older one.
+- **Structured errors.**  Failures travel as :class:`ErrorEnvelope`,
+  never as bare strings or HTML.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import ClassVar
+
+from repro.autotune.space import Parameter, ParameterSpace
+
+PROTOCOL_VERSION = "1.0"
+"""The protocol this build speaks, as ``major.minor``.  Bump the major
+for breaking changes (old peers are rejected), the minor for additive
+ones (old peers keep working)."""
+
+SESSION_STATES = (
+    "pending", "running", "waiting", "done", "failed", "cancelled",
+)
+"""Session lifecycle: ``pending`` (accepted, not started), ``running``
+(strategy active), ``waiting`` (external session awaiting a ``tell``),
+then exactly one of ``done`` / ``failed`` / ``cancelled``."""
+
+SESSION_MODES = ("managed", "external")
+"""``managed``: the server measures (worker fleet) and the client polls.
+``external``: the server only hosts the strategy; the client drives
+ask/tell and measures on its own hardware."""
+
+
+class ProtocolError(ValueError):
+    """A document violates the protocol (bad version, missing field,
+    wrong type).  Maps to HTTP 400/426 at the transport."""
+
+
+def parse_version(v) -> tuple[int, int]:
+    """``"major.minor"`` -> ``(major, minor)``, or :class:`ProtocolError`."""
+    if not isinstance(v, str):
+        raise ProtocolError(f"protocol version must be a string, got {v!r}")
+    parts = v.split(".")
+    if len(parts) != 2 or not all(p.isdigit() for p in parts):
+        raise ProtocolError(f"malformed protocol version {v!r}")
+    return int(parts[0]), int(parts[1])
+
+
+def check_version(v) -> None:
+    """Reject a document whose protocol version this build cannot speak.
+
+    Compatibility rule: the major must match ours exactly; any minor
+    under that major is accepted.
+    """
+    if v is None:
+        raise ProtocolError(
+            "document carries no protocol version ('v' field); "
+            f"this build speaks {PROTOCOL_VERSION}"
+        )
+    major, _minor = parse_version(v)
+    ours, _ = parse_version(PROTOCOL_VERSION)
+    if major != ours:
+        raise ProtocolError(
+            f"incompatible protocol version {v!r}; "
+            f"this build speaks {PROTOCOL_VERSION}"
+        )
+
+
+# -- field codecs ------------------------------------------------------------
+
+def _enc_float(x: float):
+    """A float as strict-JSON: non-finite values travel as strings."""
+    x = float(x)
+    if math.isinf(x):
+        return "Infinity" if x > 0 else "-Infinity"
+    if math.isnan(x):
+        return "NaN"
+    return x
+
+
+_NONFINITE = {"Infinity": float("inf"), "-Infinity": float("-inf"),
+              "NaN": float("nan")}
+
+
+def _dec_float(v, where: str) -> float:
+    if isinstance(v, bool):
+        raise ProtocolError(f"{where}: expected a number, got {v!r}")
+    if isinstance(v, (int, float)):
+        return float(v)
+    if isinstance(v, str) and v in _NONFINITE:
+        return _NONFINITE[v]
+    raise ProtocolError(f"{where}: expected a number, got {v!r}")
+
+
+_MISSING = object()
+
+
+def _get(doc: dict, key: str, types, default=_MISSING):
+    """Fetch a typed field; missing + no default, or a type mismatch, is
+    a :class:`ProtocolError` naming the field.  An explicit ``null`` in
+    an *optional* field means "use the default" (our own ``to_json``
+    emits ``None`` for unset optionals)."""
+    if key not in doc:
+        if default is _MISSING:
+            raise ProtocolError(f"missing required field {key!r}")
+        return default
+    v = doc[key]
+    if v is None and default is not _MISSING:
+        return default
+    if v is None:
+        raise ProtocolError(f"missing required field {key!r}")
+    if types is not None and not isinstance(v, types):
+        raise ProtocolError(f"field {key!r} has wrong type: {v!r}")
+    # bool is an int subclass; reject it where an int/float is expected
+    if types is not None and isinstance(v, bool) and bool not in (
+            types if isinstance(types, tuple) else (types,)):
+        raise ProtocolError(f"field {key!r} has wrong type: {v!r}")
+    return v
+
+
+def _config_from(doc, where: str) -> dict:
+    """Validate one tuning configuration: string keys, primitive values.
+    Values are taken verbatim -- never float-decoded -- so a config
+    string like ``"Infinity"`` would survive untouched."""
+    if not isinstance(doc, dict):
+        raise ProtocolError(f"{where}: config is not an object")
+    out = {}
+    for k, v in doc.items():
+        if not isinstance(k, str):
+            raise ProtocolError(f"{where}: config key {k!r} is not a string")
+        if isinstance(v, bool) or not isinstance(v, (int, float, str)):
+            raise ProtocolError(
+                f"{where}: config value {k}={v!r} is not a JSON primitive"
+            )
+        out[k] = v
+    return out
+
+
+# -- message base ------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Message:
+    """Base of every protocol type: ``to_json`` emits a dict carrying
+    ``type`` and ``v``; ``from_json`` validates both and parses the
+    known fields, tolerating unknown ones."""
+
+    TYPE: ClassVar[str] = ""
+
+    def _payload(self) -> dict:
+        raise NotImplementedError
+
+    @classmethod
+    def _parse(cls, doc: dict) -> "Message":
+        raise NotImplementedError
+
+    def to_json(self) -> dict:
+        doc = {"type": self.TYPE, "v": PROTOCOL_VERSION}
+        doc.update(self._payload())
+        return doc
+
+    @classmethod
+    def from_json(cls, doc) -> "Message":
+        if not isinstance(doc, dict):
+            raise ProtocolError(
+                f"{cls.TYPE or cls.__name__}: document is not a JSON object"
+            )
+        t = doc.get("type")
+        if t is not None and t != cls.TYPE:
+            raise ProtocolError(
+                f"expected a {cls.TYPE!r} document, got type {t!r}"
+            )
+        check_version(doc.get("v"))
+        return cls._parse(doc)
+
+
+# -- the types ---------------------------------------------------------------
+
+@dataclass(frozen=True)
+class SpaceSpec(Message):
+    """A serializable :class:`~repro.autotune.space.ParameterSpace`:
+    ordered ``(name, values)`` pairs."""
+
+    TYPE: ClassVar[str] = "space"
+
+    parameters: tuple
+    """``((name, (v, v, ...)), ...)`` -- tuples, so instances compare
+    and round-trip exactly."""
+
+    @classmethod
+    def from_space(cls, space: ParameterSpace) -> "SpaceSpec":
+        return cls(parameters=tuple(
+            (p.name, tuple(p.values)) for p in space.parameters
+        ))
+
+    def to_space(self) -> ParameterSpace:
+        return ParameterSpace([
+            Parameter(name, tuple(values))
+            for name, values in self.parameters
+        ])
+
+    def _payload(self) -> dict:
+        return {"parameters": [
+            [name, list(values)] for name, values in self.parameters
+        ]}
+
+    @classmethod
+    def _parse(cls, doc: dict) -> "SpaceSpec":
+        raw = _get(doc, "parameters", list)
+        params = []
+        for entry in raw:
+            if not (isinstance(entry, list) and len(entry) == 2):
+                raise ProtocolError(f"space: bad parameter entry {entry!r}")
+            name, values = entry
+            if not isinstance(name, str) or not name:
+                raise ProtocolError(f"space: bad parameter name {name!r}")
+            if not isinstance(values, list) or not values:
+                raise ProtocolError(
+                    f"space: parameter {name!r} has no value list"
+                )
+            for v in values:
+                if isinstance(v, bool) or not isinstance(v, (int, float, str)):
+                    raise ProtocolError(
+                        f"space: parameter {name!r} value {v!r} is not a "
+                        "JSON primitive"
+                    )
+            params.append((name, tuple(values)))
+        return cls(parameters=tuple(params))
+
+
+@dataclass(frozen=True)
+class TuneRequest(Message):
+    """Submit one tuning session: kernel, GPU, size, strategy, budget,
+    and (optionally) an explicit space."""
+
+    TYPE: ClassVar[str] = "tune-request"
+
+    kernel: str
+    gpu: str
+    size: int
+    search: str = "exhaustive"
+    budget: int | None = None
+    use_rule: bool = False
+    mode: str = "managed"
+    space: SpaceSpec | None = None
+    search_args: dict = field(default_factory=dict)
+    """Strategy constructor kwargs (``seed``, ``population``, ...);
+    values must be JSON primitives so requests stay serializable."""
+    tenant: str = "default"
+
+    def _payload(self) -> dict:
+        return {
+            "kernel": self.kernel,
+            "gpu": self.gpu,
+            "size": self.size,
+            "search": self.search,
+            "budget": self.budget,
+            "use_rule": self.use_rule,
+            "mode": self.mode,
+            "space": None if self.space is None else self.space.to_json(),
+            "search_args": dict(self.search_args),
+            "tenant": self.tenant,
+        }
+
+    @classmethod
+    def _parse(cls, doc: dict) -> "TuneRequest":
+        size = _get(doc, "size", int)
+        if size <= 0:
+            raise ProtocolError(f"size must be positive, got {size}")
+        mode = _get(doc, "mode", str, "managed")
+        if mode not in SESSION_MODES:
+            raise ProtocolError(
+                f"mode {mode!r} not in {SESSION_MODES}"
+            )
+        budget = _get(doc, "budget", int, None)
+        if budget is not None and budget <= 0:
+            raise ProtocolError(f"budget must be positive, got {budget}")
+        raw_space = doc.get("space")
+        space = None if raw_space is None else SpaceSpec.from_json(raw_space)
+        args = _get(doc, "search_args", dict, {})
+        for k, v in args.items():
+            if not isinstance(k, str):
+                raise ProtocolError(f"search_args key {k!r} is not a string")
+            if v is not None and not isinstance(v, (bool, int, float, str)):
+                raise ProtocolError(
+                    f"search_args value {k}={v!r} is not a JSON primitive"
+                )
+        return cls(
+            kernel=_get(doc, "kernel", str),
+            gpu=_get(doc, "gpu", str),
+            size=size,
+            search=_get(doc, "search", str, "exhaustive"),
+            budget=budget,
+            use_rule=_get(doc, "use_rule", bool, False),
+            mode=mode,
+            space=space,
+            search_args=dict(args),
+            tenant=_get(doc, "tenant", str, "default"),
+        )
+
+
+@dataclass(frozen=True)
+class MeasurementRecord(Message):
+    """One measured variant on the wire (the serializable face of
+    :class:`~repro.autotune.measure.VariantMeasurement`)."""
+
+    TYPE: ClassVar[str] = "measurement"
+
+    config: dict
+    size: int
+    seconds: float
+    occupancy: float
+    regs_per_thread: int
+    reg_instructions: float
+    key: str | None = None
+    """The content-address of this measurement in the shared store
+    (:func:`repro.engine.cache.measurement_key`), when known."""
+
+    @classmethod
+    def from_measurement(cls, m, key: str | None = None):
+        return cls(
+            config=dict(m.config), size=m.size, seconds=m.seconds,
+            occupancy=m.occupancy, regs_per_thread=m.regs_per_thread,
+            reg_instructions=m.reg_instructions, key=key,
+        )
+
+    def to_measurement(self):
+        from repro.autotune.measure import VariantMeasurement
+
+        return VariantMeasurement(
+            config=dict(self.config), size=self.size, seconds=self.seconds,
+            occupancy=self.occupancy, regs_per_thread=self.regs_per_thread,
+            reg_instructions=self.reg_instructions,
+        )
+
+    def _payload(self) -> dict:
+        return {
+            "config": dict(self.config),
+            "size": self.size,
+            "seconds": _enc_float(self.seconds),
+            "occupancy": _enc_float(self.occupancy),
+            "regs_per_thread": self.regs_per_thread,
+            "reg_instructions": _enc_float(self.reg_instructions),
+            "key": self.key,
+        }
+
+    @classmethod
+    def _parse(cls, doc: dict) -> "MeasurementRecord":
+        return cls(
+            config=_config_from(_get(doc, "config", dict), "measurement"),
+            size=_get(doc, "size", int),
+            seconds=_dec_float(_get(doc, "seconds", None), "seconds"),
+            occupancy=_dec_float(_get(doc, "occupancy", None), "occupancy"),
+            regs_per_thread=_get(doc, "regs_per_thread", int),
+            reg_instructions=_dec_float(
+                _get(doc, "reg_instructions", None), "reg_instructions"
+            ),
+            key=_get(doc, "key", str, None),
+        )
+
+
+@dataclass(frozen=True)
+class AskBatch(Message):
+    """One proposal batch from a session's strategy: the configurations
+    that need fresh evaluations."""
+
+    TYPE: ClassVar[str] = "ask-batch"
+
+    session_id: str
+    round: int
+    configs: tuple
+    """Tuple of configuration dicts (tuple, so instances compare)."""
+    remaining: int | None = None
+    """Budget left after this batch (``None`` = unlimited)."""
+    done: bool = False
+    """True when the strategy has finished; ``configs`` is then empty."""
+
+    def _payload(self) -> dict:
+        return {
+            "session_id": self.session_id,
+            "round": self.round,
+            "configs": [dict(c) for c in self.configs],
+            "remaining": self.remaining,
+            "done": self.done,
+        }
+
+    @classmethod
+    def _parse(cls, doc: dict) -> "AskBatch":
+        raw = _get(doc, "configs", list)
+        return cls(
+            session_id=_get(doc, "session_id", str),
+            round=_get(doc, "round", int),
+            configs=tuple(
+                _config_from(c, f"configs[{i}]") for i, c in enumerate(raw)
+            ),
+            remaining=_get(doc, "remaining", int, None),
+            done=_get(doc, "done", bool, False),
+        )
+
+
+@dataclass(frozen=True)
+class TellResult(Message):
+    """The objective values answering one :class:`AskBatch`, in batch
+    order (``inf`` = unlaunchable)."""
+
+    TYPE: ClassVar[str] = "tell-result"
+
+    session_id: str
+    round: int
+    values: tuple
+
+    def _payload(self) -> dict:
+        return {
+            "session_id": self.session_id,
+            "round": self.round,
+            "values": [_enc_float(v) for v in self.values],
+        }
+
+    @classmethod
+    def _parse(cls, doc: dict) -> "TellResult":
+        raw = _get(doc, "values", list)
+        return cls(
+            session_id=_get(doc, "session_id", str),
+            round=_get(doc, "round", int),
+            values=tuple(
+                _dec_float(v, f"values[{i}]") for i, v in enumerate(raw)
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class ErrorEnvelope(Message):
+    """A structured failure: a stable machine-readable ``code`` plus a
+    human message (and optional detail)."""
+
+    TYPE: ClassVar[str] = "error"
+
+    code: str
+    message: str
+    detail: str | None = None
+
+    def _payload(self) -> dict:
+        return {
+            "code": self.code,
+            "message": self.message,
+            "detail": self.detail,
+        }
+
+    @classmethod
+    def _parse(cls, doc: dict) -> "ErrorEnvelope":
+        return cls(
+            code=_get(doc, "code", str),
+            message=_get(doc, "message", str),
+            detail=_get(doc, "detail", str, None),
+        )
+
+
+@dataclass(frozen=True)
+class SessionStatus(Message):
+    """A poll of one session: lifecycle state plus progress so far."""
+
+    TYPE: ClassVar[str] = "session-status"
+
+    session_id: str
+    state: str
+    kernel: str
+    gpu: str
+    size: int
+    search: str
+    mode: str = "managed"
+    rounds: int = 0
+    evaluations: int = 0
+    best_value: float | None = None
+    best_config: dict | None = None
+    error: ErrorEnvelope | None = None
+
+    def _payload(self) -> dict:
+        return {
+            "session_id": self.session_id,
+            "state": self.state,
+            "kernel": self.kernel,
+            "gpu": self.gpu,
+            "size": self.size,
+            "search": self.search,
+            "mode": self.mode,
+            "rounds": self.rounds,
+            "evaluations": self.evaluations,
+            "best_value": (None if self.best_value is None
+                           else _enc_float(self.best_value)),
+            "best_config": (None if self.best_config is None
+                            else dict(self.best_config)),
+            "error": None if self.error is None else self.error.to_json(),
+        }
+
+    @classmethod
+    def _parse(cls, doc: dict) -> "SessionStatus":
+        state = _get(doc, "state", str)
+        if state not in SESSION_STATES:
+            raise ProtocolError(
+                f"state {state!r} not in {SESSION_STATES}"
+            )
+        best = doc.get("best_value")
+        raw_cfg = doc.get("best_config")
+        raw_err = doc.get("error")
+        return cls(
+            session_id=_get(doc, "session_id", str),
+            state=state,
+            kernel=_get(doc, "kernel", str),
+            gpu=_get(doc, "gpu", str),
+            size=_get(doc, "size", int),
+            search=_get(doc, "search", str),
+            mode=_get(doc, "mode", str, "managed"),
+            rounds=_get(doc, "rounds", int, 0),
+            evaluations=_get(doc, "evaluations", int, 0),
+            best_value=(None if best is None
+                        else _dec_float(best, "best_value")),
+            best_config=(None if raw_cfg is None
+                         else _config_from(raw_cfg, "best_config")),
+            error=(None if raw_err is None
+                   else ErrorEnvelope.from_json(raw_err)),
+        )
+
+
+@dataclass(frozen=True)
+class SessionResult(Message):
+    """A finished session's outcome: the serializable face of
+    :class:`~repro.autotune.search.base.SearchResult` plus every
+    measurement, in evaluation order.
+
+    A server-side session and an in-process :func:`repro.api.tune` of the
+    same request produce *identical* payloads (asserted in
+    ``tests/test_service.py``), modulo ``session_id``.
+    """
+
+    TYPE: ClassVar[str] = "session-result"
+
+    session_id: str
+    best_config: dict
+    best_value: float
+    evaluations: int
+    space_size: int
+    full_space_size: int
+    history: tuple = ()
+    """``((config, value), ...)`` in evaluation order."""
+    measurements: tuple = ()
+    """:class:`MeasurementRecord` per evaluation (empty for external
+    sessions, where the client measured)."""
+
+    @classmethod
+    def from_search(cls, session_id: str, sr, measurements=()):
+        return cls(
+            session_id=session_id,
+            best_config=dict(sr.best_config),
+            best_value=float(sr.best_value),
+            evaluations=sr.evaluations,
+            space_size=sr.space_size,
+            full_space_size=sr.full_space_size,
+            history=tuple((dict(c), float(v)) for c, v in sr.history),
+            measurements=tuple(
+                MeasurementRecord.from_measurement(m) for m in measurements
+            ),
+        )
+
+    @property
+    def space_reduction(self) -> float:
+        if self.full_space_size == 0:
+            return 0.0
+        return 1.0 - self.space_size / self.full_space_size
+
+    def _payload(self) -> dict:
+        return {
+            "session_id": self.session_id,
+            "best_config": dict(self.best_config),
+            "best_value": _enc_float(self.best_value),
+            "evaluations": self.evaluations,
+            "space_size": self.space_size,
+            "full_space_size": self.full_space_size,
+            "history": [
+                [dict(c), _enc_float(v)] for c, v in self.history
+            ],
+            "measurements": [m.to_json() for m in self.measurements],
+        }
+
+    @classmethod
+    def _parse(cls, doc: dict) -> "SessionResult":
+        history = []
+        for i, entry in enumerate(_get(doc, "history", list, [])):
+            if not (isinstance(entry, list) and len(entry) == 2):
+                raise ProtocolError(f"history[{i}]: bad entry {entry!r}")
+            history.append((
+                _config_from(entry[0], f"history[{i}]"),
+                _dec_float(entry[1], f"history[{i}]"),
+            ))
+        return cls(
+            session_id=_get(doc, "session_id", str),
+            best_config=_config_from(
+                _get(doc, "best_config", dict), "best_config"
+            ),
+            best_value=_dec_float(
+                _get(doc, "best_value", None), "best_value"
+            ),
+            evaluations=_get(doc, "evaluations", int),
+            space_size=_get(doc, "space_size", int),
+            full_space_size=_get(doc, "full_space_size", int),
+            history=tuple(history),
+            measurements=tuple(
+                MeasurementRecord.from_json(m)
+                for m in _get(doc, "measurements", list, [])
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class StoreStats(Message):
+    """The shared measurement store's counters plus the fleet's lifetime
+    totals (what the warm-pass CI assertion reads)."""
+
+    TYPE: ClassVar[str] = "store-stats"
+
+    entries: int = 0
+    hits: int = 0
+    misses: int = 0
+    corrupt: int = 0
+    evicted: int = 0
+    measured: int = 0
+    """Fresh measurements over the fleet's lifetime."""
+    served_from_cache: int = 0
+    """Engine-level cache hits over the fleet's lifetime."""
+    sessions: int = 0
+    max_entries: int | None = None
+    schema_version: int = 0
+
+    def _payload(self) -> dict:
+        return {
+            "entries": self.entries,
+            "hits": self.hits,
+            "misses": self.misses,
+            "corrupt": self.corrupt,
+            "evicted": self.evicted,
+            "measured": self.measured,
+            "served_from_cache": self.served_from_cache,
+            "sessions": self.sessions,
+            "max_entries": self.max_entries,
+            "schema_version": self.schema_version,
+        }
+
+    @classmethod
+    def _parse(cls, doc: dict) -> "StoreStats":
+        return cls(
+            entries=_get(doc, "entries", int, 0),
+            hits=_get(doc, "hits", int, 0),
+            misses=_get(doc, "misses", int, 0),
+            corrupt=_get(doc, "corrupt", int, 0),
+            evicted=_get(doc, "evicted", int, 0),
+            measured=_get(doc, "measured", int, 0),
+            served_from_cache=_get(doc, "served_from_cache", int, 0),
+            sessions=_get(doc, "sessions", int, 0),
+            max_entries=_get(doc, "max_entries", int, None),
+            schema_version=_get(doc, "schema_version", int, 0),
+        )
+
+
+@dataclass(frozen=True)
+class ServerInfo(Message):
+    """The handshake document: what the server speaks and holds."""
+
+    TYPE: ClassVar[str] = "server-info"
+
+    protocol: str = PROTOCOL_VERSION
+    server: str = "repro-service/1"
+    sessions: int = 0
+    store_entries: int = 0
+
+    def _payload(self) -> dict:
+        return {
+            "protocol": self.protocol,
+            "server": self.server,
+            "sessions": self.sessions,
+            "store_entries": self.store_entries,
+        }
+
+    @classmethod
+    def _parse(cls, doc: dict) -> "ServerInfo":
+        info = cls(
+            protocol=_get(doc, "protocol", str),
+            server=_get(doc, "server", str, "repro-service/1"),
+            sessions=_get(doc, "sessions", int, 0),
+            store_entries=_get(doc, "store_entries", int, 0),
+        )
+        # the handshake's payload version is the compatibility contract
+        check_version(info.protocol)
+        return info
+
+
+MESSAGE_TYPES = {
+    cls.TYPE: cls
+    for cls in (
+        SpaceSpec, TuneRequest, MeasurementRecord, AskBatch, TellResult,
+        ErrorEnvelope, SessionStatus, SessionResult, StoreStats, ServerInfo,
+    )
+}
+
+
+def parse_message(doc) -> Message:
+    """Dispatch a document to its type's parser by the ``type`` field."""
+    if not isinstance(doc, dict):
+        raise ProtocolError("message document is not a JSON object")
+    t = doc.get("type")
+    if t not in MESSAGE_TYPES:
+        raise ProtocolError(
+            f"unknown message type {t!r}; known: {sorted(MESSAGE_TYPES)}"
+        )
+    return MESSAGE_TYPES[t].from_json(doc)

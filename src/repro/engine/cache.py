@@ -33,6 +33,7 @@ from __future__ import annotations
 import json
 import os
 import sqlite3
+import threading
 from dataclasses import asdict
 from pathlib import Path
 
@@ -155,34 +156,67 @@ class CacheStore:
         """Payloads that failed to decode and were quarantined."""
         self.recovered_path: Path | None = None
         """Where a corrupt database file was moved aside, if one was."""
+        # One connection per thread: SQLite connections are not safe to
+        # share across threads, and -- the subtler seed bug -- pragmas
+        # are *per connection*, so every connection (not just the first)
+        # must set WAL + busy_timeout or a concurrent session's writes
+        # land in rollback-journal mode and raise "database is locked"
+        # under contention.
+        self._local = threading.local()
+        self._all_conns: list[sqlite3.Connection] = []
+        self._conn_lock = threading.Lock()
+        self._closed = False
         try:
-            self._conn = self._open()
+            self._local.conn = self._open()
         except sqlite3.DatabaseError:
             # corrupt database file: move it aside and rebuild
             self.recovered_path = self._sideline_database()
-            self._conn = self._open()
+            self._local.conn = self._open()
+
+    @property
+    def _conn(self) -> sqlite3.Connection:
+        """This thread's connection, opened on first use."""
+        if self._closed:
+            raise sqlite3.ProgrammingError(
+                "Cannot operate on a closed database."
+            )
+        conn = getattr(self._local, "conn", None)
+        if conn is None:
+            conn = self._open()
+            self._local.conn = conn
+        return conn
 
     def _open(self) -> sqlite3.Connection:
-        conn = sqlite3.connect(str(self.db_path))
+        # check_same_thread=False so close() can shut every thread's
+        # connection down from the owning thread; each connection is
+        # still *used* by exactly one thread (thread-local storage)
+        conn = sqlite3.connect(str(self.db_path), check_same_thread=False)
         try:
             conn.execute(f"PRAGMA busy_timeout = {BUSY_TIMEOUT_MS}")
             conn.execute("PRAGMA journal_mode = WAL")
-            conn.execute(
-                "CREATE TABLE IF NOT EXISTS measurements ("
-                " key TEXT PRIMARY KEY,"
-                " payload TEXT NOT NULL)"
-            )
-            conn.execute(
-                "CREATE TABLE IF NOT EXISTS quarantine ("
-                " key TEXT PRIMARY KEY,"
-                " payload TEXT,"
-                " error TEXT)"
-            )
+            self._schema(conn)
             conn.commit()
         except sqlite3.DatabaseError:
             conn.close()
             raise
+        with self._conn_lock:
+            self._all_conns.append(conn)
         return conn
+
+    def _schema(self, conn: sqlite3.Connection) -> None:
+        """Create the store's tables (subclass hook: the service's
+        :class:`~repro.service.store.MeasurementStore` extends it)."""
+        conn.execute(
+            "CREATE TABLE IF NOT EXISTS measurements ("
+            " key TEXT PRIMARY KEY,"
+            " payload TEXT NOT NULL)"
+        )
+        conn.execute(
+            "CREATE TABLE IF NOT EXISTS quarantine ("
+            " key TEXT PRIMARY KEY,"
+            " payload TEXT,"
+            " error TEXT)"
+        )
 
     def _sideline_database(self) -> Path:
         """Rename the (corrupt) database file out of the way, with its
@@ -290,10 +324,35 @@ class CacheStore:
         self._conn.execute("DELETE FROM quarantine")
         self._conn.commit()
 
+    def flush(self) -> None:
+        """Commit this thread's work and fold the WAL back into the main
+        database file (checkpoint), so a reader opening the file fresh --
+        or the server's eviction pass sizing it -- sees everything.
+        Idempotent, and a silent no-op once the store is closed."""
+        if self._closed:
+            return
+        try:
+            conn = self._conn
+            conn.commit()
+            conn.execute("PRAGMA wal_checkpoint(TRUNCATE)")
+        except sqlite3.Error:
+            # flush is advisory: a checkpoint blocked by a concurrent
+            # reader just leaves the WAL for the next one
+            pass
+
     def close(self) -> None:
         """Idempotent; operations after close raise
         ``sqlite3.ProgrammingError``."""
-        self._conn.close()
+        if self._closed:
+            return
+        self._closed = True
+        with self._conn_lock:
+            conns, self._all_conns = self._all_conns, []
+        for conn in conns:
+            try:
+                conn.close()
+            except sqlite3.Error:
+                pass
 
     def __enter__(self):
         return self

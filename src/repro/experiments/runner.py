@@ -10,6 +10,12 @@ Usage::
     python -m repro.experiments.runner --jobs 4 fig4 table5   # parallel sweep
     python -m repro.experiments.runner --no-cache fig5 # force remeasurement
 
+Service mode (autotuning as a service; see docs/ARCHITECTURE.md)::
+
+    python -m repro.experiments.runner serve --port 8737 --jobs 2
+    python -m repro.experiments.runner client atax bicg --search random \
+        --budget 40 --seed 7 --url http://127.0.0.1:8737
+
 Sweeps are backed by a persistent on-disk cache (``--cache``, on by
 default; ``--cache-dir`` or ``$REPRO_CACHE_DIR`` picks the location), so
 re-running an experiment with the same model parameters is near-free.
@@ -133,7 +139,169 @@ def _run_timed(name: str, full: bool, archs, kernels, tags=None) -> tuple:
     return text, time.time() - t0, status
 
 
+def serve_main(argv) -> int:
+    """``runner serve``: run the autotuning service in the foreground."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments serve",
+        description="Serve the autotuner over HTTP (ask/tell sessions, "
+                    "shared measurement store, worker fleet).",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8737,
+                        help="listen port (0 = ephemeral; default 8737)")
+    parser.add_argument("--cache-dir", type=Path, default=None,
+                        help="shared measurement store location "
+                             f"(default {default_cache_dir()}; "
+                             "--no-cache disables persistence)")
+    parser.add_argument("--cache", action=argparse.BooleanOptionalAction,
+                        default=True,
+                        help="persist measurements in the shared store "
+                             "(default: on)")
+    parser.add_argument("--max-entries", type=int, default=None,
+                        metavar="N",
+                        help="LRU cap for the store (default unbounded)")
+    parser.add_argument("--drainers", type=int, default=2, metavar="N",
+                        help="concurrent measurement jobs (default 2)")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes per drainer engine "
+                             "(0 = one per CPU; default 1 = inline)")
+    parser.add_argument("--trace", type=Path, default=None, metavar="PATH",
+                        help="write a Chrome trace of the server's "
+                             "lifetime on shutdown")
+    parser.add_argument("--metrics", type=Path, default=None,
+                        metavar="PATH",
+                        help="write a JSON metrics snapshot on shutdown")
+    args = parser.parse_args(argv)
+
+    if not 0 <= args.port <= 65535:
+        parser.error(f"--port must be in [0, 65535], got {args.port}")
+    if args.jobs < 0:
+        parser.error("--jobs must be >= 0")
+    if args.drainers < 1:
+        parser.error("--drainers must be >= 1")
+    if args.max_entries is not None and args.max_entries < 1:
+        parser.error("--max-entries must be >= 1")
+    cache_dir = None
+    if args.cache:
+        cache_dir = args.cache_dir or default_cache_dir()
+
+    from repro.api import serve
+
+    return serve(
+        host=args.host, port=args.port, cache_dir=cache_dir,
+        max_entries=args.max_entries, drainers=args.drainers,
+        jobs=args.jobs, trace=args.trace, metrics=args.metrics,
+    )
+
+
+def client_main(argv) -> int:
+    """``runner client``: submit tuning sessions to a running server."""
+    import os
+
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments client",
+        description="Tune kernels through a running autotuning server.",
+    )
+    parser.add_argument("kernels", nargs="+",
+                        help="kernels to tune (one session each)")
+    parser.add_argument("--url",
+                        default=os.environ.get("REPRO_SERVICE_URL",
+                                               "http://127.0.0.1:8737"),
+                        help="server URL (default $REPRO_SERVICE_URL or "
+                             "http://127.0.0.1:8737)")
+    parser.add_argument("--arch", default="kepler",
+                        help="GPU name or family (default kepler)")
+    parser.add_argument("--size", type=int, default=64,
+                        help="input size (default 64)")
+    parser.add_argument("--search", default="exhaustive",
+                        help="search strategy (default exhaustive)")
+    parser.add_argument("--budget", type=int, default=None,
+                        help="evaluation budget (default: strategy's own)")
+    parser.add_argument("--use-rule", action="store_true",
+                        help="apply the intensity rule (static search)")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="seed for stochastic strategies")
+    parser.add_argument("--timeout", type=float, default=300.0,
+                        help="per-session wait timeout in seconds")
+    args = parser.parse_args(argv)
+
+    # the same up-front registry validation the experiments path does: a
+    # typo should name the registry here, not surface as a server 400
+    from repro.autotune.search import SEARCH_REGISTRY
+
+    for kernel in args.kernels:
+        try:
+            get_benchmark(kernel)
+        except KeyError:
+            parser.error(
+                f"unknown kernel {kernel!r}; registered: "
+                f"{', '.join(sorted(BENCHMARKS))}"
+            )
+    try:
+        get_gpu(args.arch)
+    except KeyError:
+        parser.error(
+            f"unknown architecture {args.arch!r}; available: "
+            f"{', '.join(g.name for g in ALL_GPUS)} (or family aliases)"
+        )
+    if args.search.strip().lower() not in SEARCH_REGISTRY:
+        parser.error(
+            f"unknown search {args.search!r}; available: "
+            f"{', '.join(sorted(SEARCH_REGISTRY))}"
+        )
+    if args.size <= 0:
+        parser.error("--size must be positive")
+    if args.budget is not None and args.budget <= 0:
+        parser.error("--budget must be positive")
+
+    from repro.api import connect
+    from repro.client import ServiceError
+
+    try:
+        client = connect(args.url)
+    except (OSError, ServiceError) as e:
+        print(f"[client] cannot reach {args.url}: {e}", file=sys.stderr)
+        return 2
+
+    search_args = {}
+    if args.seed is not None:
+        search_args["seed"] = args.seed
+    rc = 0
+    for kernel in args.kernels:
+        try:
+            result = client.tune(
+                kernel, args.arch, args.size, search=args.search,
+                budget=args.budget, use_rule=args.use_rule,
+                timeout=args.timeout, **search_args,
+            )
+        except (ServiceError, TimeoutError, OSError) as e:
+            print(f"[client] {kernel}: FAILED: {e}", file=sys.stderr)
+            rc = max(rc, 1)
+            continue
+        print(
+            f"{kernel}: best {result.best_config} = "
+            f"{result.best_value:.6g}s over {result.evaluations} "
+            f"evaluations (space {result.space_size}/"
+            f"{result.full_space_size})"
+        )
+    stats = client.store_stats()
+    print(
+        f"[client] server store: {stats.entries} entries, "
+        f"{stats.measured} measured / {stats.served_from_cache} served "
+        "from cache (fleet lifetime)",
+        file=sys.stderr,
+    )
+    return rc
+
+
 def main(argv=None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    # service subcommands dispatch before the experiments parser so each
+    # keeps its own focused --help and argument validation
+    if argv and argv[0] == "serve":
+        return serve_main(argv[1:])
+    if argv and argv[0] == "client":
+        return client_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
         description="Regenerate the paper's tables and figures.",

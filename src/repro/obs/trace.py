@@ -103,9 +103,21 @@ class Tracer:
     def __init__(self):
         self.spans: list[Span] = []
         self.instants: list[Instant] = []
-        self._stack: list[str] = []
+        self._tls = threading.local()
         self._occ: dict = {}
         self._lock = threading.Lock()
+
+    @property
+    def _stack(self) -> list[str]:
+        """The ambient parent stack, *per thread*: the service's fleet
+        drains sessions on worker threads, and a shared stack would
+        interleave their push/pops and corrupt parentage.  Each thread
+        starts at ROOT and parents explicitly via :meth:`attach`."""
+        stack = getattr(self._tls, "stack", None)
+        if stack is None:
+            stack = []
+            self._tls.stack = stack
+        return stack
 
     # -- ambient context -----------------------------------------------------
 

@@ -24,7 +24,7 @@ import argparse
 import sys
 
 from repro.arch import get_gpu
-from repro.autotune import Autotuner
+from repro.autotune.tuner import Autotuner
 from repro.codegen.compiler import CompileOptions, compile_module
 from repro.core.analyzer import StaticAnalyzer
 from repro.core.occupancy import occupancy

@@ -1,0 +1,155 @@
+"""The shared measurement store and the hardened CacheStore beneath it:
+per-connection WAL pragmas, cross-thread access, idempotent flush,
+schema-version adoption, and LRU eviction.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+import threading
+
+from repro.autotune.measure import VariantMeasurement
+from repro.engine.cache import CacheStore
+from repro.service.store import STORE_SCHEMA_VERSION, MeasurementStore
+
+
+def _m(i: int) -> VariantMeasurement:
+    return VariantMeasurement(
+        config={"TC": 32 * (i + 1), "BC": 48}, size=16,
+        seconds=1e-4 * (i + 1), occupancy=0.5, regs_per_thread=20,
+        reg_instructions=100.0,
+    )
+
+
+def test_every_connection_gets_wal_and_busy_timeout(tmp_path):
+    """The seed bug under test: pragmas are per-connection, so a second
+    thread's connection must re-apply them or concurrent sessions fall
+    back to rollback journaling and 'database is locked'."""
+    store = CacheStore(tmp_path)
+    seen: dict[str, tuple] = {}
+
+    def probe(label: str) -> None:
+        conn = store._conn  # opens this thread's connection lazily
+        (mode,) = conn.execute("PRAGMA journal_mode").fetchone()
+        (timeout,) = conn.execute("PRAGMA busy_timeout").fetchone()
+        seen[label] = (mode, timeout, id(conn))
+
+    probe("main")
+    t = threading.Thread(target=probe, args=("worker",))
+    t.start()
+    t.join()
+    assert seen["main"][0] == "wal"
+    assert seen["worker"][0] == "wal"
+    assert seen["worker"][1] > 0
+    assert seen["main"][2] != seen["worker"][2]  # distinct connections
+    store.close()
+
+
+def test_cross_thread_get_put(tmp_path):
+    store = MeasurementStore(tmp_path)
+    errors: list = []
+
+    def writer(base: int) -> None:
+        try:
+            store.put_many(
+                (f"k{base + i}", _m(i)) for i in range(20)
+            )
+            found = store.get_many([f"k{base + i}" for i in range(20)])
+            assert len(found) == 20
+        except Exception as e:
+            errors.append(e)
+
+    threads = [
+        threading.Thread(target=writer, args=(100 * t,)) for t in range(4)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors, errors
+    assert len(store) == 80
+    store.close()
+
+
+def test_flush_is_idempotent_and_safe_after_close(tmp_path):
+    store = MeasurementStore(tmp_path)
+    store.put("k", _m(0))
+    store.flush()
+    store.flush()  # idempotent
+    assert store.get("k") == _m(0)
+    store.close()
+    store.flush()  # silent no-op on a closed store
+    store.close()  # close is idempotent too
+
+
+def test_schema_version_adoption_and_rebuild(tmp_path):
+    store = MeasurementStore(tmp_path)
+    store.put("k", _m(0))
+    store.close()
+
+    # same schema: reopened store keeps its contents
+    again = MeasurementStore(tmp_path)
+    assert len(again) == 1
+    assert again.schema_version == STORE_SCHEMA_VERSION
+    again.close()
+
+    # a store stamped with a foreign schema is emptied, not misread
+    conn = sqlite3.connect(str(tmp_path / "measurements.sqlite"))
+    conn.execute("UPDATE meta SET value = '999' WHERE key = 'store_schema'")
+    conn.commit()
+    conn.close()
+    rebuilt = MeasurementStore(tmp_path)
+    assert len(rebuilt) == 0
+    rebuilt.put("k2", _m(1))
+    rebuilt.close()
+
+    # a plain CacheStore database (no meta rows) is adopted by emptying
+    plain_dir = tmp_path / "plain"
+    plain = CacheStore(plain_dir)
+    plain.put("old", _m(0))
+    plain.close()
+    promoted = MeasurementStore(plain_dir)
+    assert len(promoted) == 0
+    promoted.close()
+
+
+def test_lru_eviction(tmp_path):
+    store = MeasurementStore(tmp_path, max_entries=4)
+    store.put_many((f"k{i}", _m(i)) for i in range(4))
+    assert store.evict() == 0  # at the cap, nothing to do
+
+    # touch k0 and k1 so k2/k3 are the LRU victims when we overflow
+    store.get_many(["k0", "k1"])
+    store.put_many((f"k{i}", _m(i)) for i in range(4, 6))
+    assert len(store) == 6
+    evicted = store.evict()
+    assert evicted == 2
+    assert store.evicted == 2
+    assert len(store) == 4
+    remaining = store.get_many([f"k{i}" for i in range(6)])
+    assert sorted(remaining) == ["k0", "k1", "k4", "k5"]
+
+    # an explicit cap overrides the configured one
+    assert store.evict(max_entries=1) == 3
+    store.close()
+
+
+def test_unbounded_store_never_evicts(tmp_path):
+    store = MeasurementStore(tmp_path)
+    store.put_many((f"k{i}", _m(i)) for i in range(10))
+    assert store.evict() == 0
+    assert len(store) == 10
+    store.close()
+
+
+def test_engine_never_closes_a_shared_store(tmp_path):
+    """A MeasurementStore instance passed to SweepEngine must survive
+    the engine's context exit (the server shares one store across every
+    drainer engine)."""
+    from repro.engine import SweepEngine
+
+    store = MeasurementStore(tmp_path)
+    with SweepEngine(jobs=1, cache=store):
+        pass
+    store.put("still-open", _m(0))  # would raise if the engine closed it
+    store.close()
